@@ -1,0 +1,76 @@
+use snappix_tensor::TensorError;
+use std::fmt;
+
+/// Error type for autograd operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutogradError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// `backward` was called on a non-scalar variable.
+    NotScalar {
+        /// Shape of the offending variable.
+        shape: Vec<usize>,
+    },
+    /// A `Var` referred to a node outside this graph.
+    InvalidVar {
+        /// Index carried by the variable.
+        index: usize,
+        /// Number of nodes currently in the graph.
+        nodes: usize,
+    },
+    /// An operation received arguments that are invalid for reasons other
+    /// than tensor shapes.
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for AutogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutogradError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AutogradError::NotScalar { shape } => {
+                write!(f, "backward requires a scalar, got shape {shape:?}")
+            }
+            AutogradError::InvalidVar { index, nodes } => {
+                write!(f, "variable {index} does not belong to this graph ({nodes} nodes)")
+            }
+            AutogradError::InvalidArgument { context } => {
+                write!(f, "invalid argument: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutogradError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutogradError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AutogradError {
+    fn from(e: TensorError) -> Self {
+        AutogradError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AutogradError::from(TensorError::InvalidArgument {
+            context: "x".into(),
+        });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let ns = AutogradError::NotScalar { shape: vec![2, 2] };
+        assert!(ns.to_string().contains("[2, 2]"));
+        assert!(std::error::Error::source(&ns).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Finite-difference gradient verification.
+
+use crate::{AutogradError, Graph, Result, Var};
+use snappix_tensor::Tensor;
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `build` receives a fresh [`Graph`] and one leaf [`Var`] per input tensor
+/// (all requiring gradients) and must return a scalar loss variable. The
+/// check perturbs every input element by ±1e-3 and compares the numeric
+/// slope against the analytic gradient with a mixed absolute/relative
+/// tolerance.
+///
+/// # Errors
+///
+/// Returns [`AutogradError::InvalidArgument`] describing the first element
+/// whose analytic and numeric gradients disagree, or propagates any graph
+/// construction error from `build`.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_autograd::check_gradients;
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_autograd::AutogradError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0], &[2])?;
+/// check_gradients(&[x], |g, vars| {
+///     let y = g.mul(vars[0], vars[0])?;
+///     g.sum(y)
+/// })?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_gradients<F>(inputs: &[Tensor], build: F) -> Result<()>
+where
+    F: Fn(&mut Graph, &[Var]) -> Result<Var>,
+{
+    const EPS: f32 = 1e-3;
+    const ATOL: f32 = 2e-2;
+    const RTOL: f32 = 5e-2;
+
+    let eval = |tensors: &[Tensor]| -> Result<(f32, Vec<Option<Tensor>>)> {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone(), true)).collect();
+        let loss = build(&mut g, &vars)?;
+        let value = g.value(loss).item()?;
+        g.backward(loss)?;
+        let grads = vars.iter().map(|&v| g.grad(v).cloned()).collect();
+        Ok((value, grads))
+    };
+
+    let (_, analytic) = eval(inputs)?;
+
+    for (ti, input) in inputs.iter().enumerate() {
+        let grad = analytic[ti]
+            .as_ref()
+            .ok_or_else(|| AutogradError::InvalidArgument {
+                context: format!("no gradient produced for input {ti}"),
+            })?;
+        for ei in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[ti].as_mut_slice()[ei] += EPS;
+            let (fp, _) = eval_loss_only(&plus, &build)?;
+            let mut minus = inputs.to_vec();
+            minus[ti].as_mut_slice()[ei] -= EPS;
+            let (fm, _) = eval_loss_only(&minus, &build)?;
+            let numeric = (fp - fm) / (2.0 * EPS);
+            let a = grad.as_slice()[ei];
+            let tol = ATOL + RTOL * numeric.abs().max(a.abs());
+            if (numeric - a).abs() > tol {
+                return Err(AutogradError::InvalidArgument {
+                    context: format!(
+                        "gradient mismatch at input {ti} element {ei}: \
+                         analytic {a} vs numeric {numeric}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_loss_only<F>(tensors: &[Tensor], build: &F) -> Result<(f32, ())>
+where
+    F: Fn(&mut Graph, &[Var]) -> Result<Var>,
+{
+    let mut g = Graph::new();
+    let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone(), false)).collect();
+    let loss = build(&mut g, &vars)?;
+    Ok((g.value(loss).item()?, ()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3]).unwrap();
+        check_gradients(&[x], |g, vars| {
+            let y = g.mul(vars[0], vars[0])?;
+            g.sum(y)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fails_for_wrong_gradient() {
+        // binarize without STE semantics would be flat almost everywhere;
+        // STE deliberately reports a non-zero "gradient", so gradcheck must
+        // flag it as inconsistent with the numeric slope.
+        let x = Tensor::from_vec(vec![0.5, -1.5], &[2]).unwrap();
+        let result = check_gradients(&[x], |g, vars| {
+            let y = g.binarize_ste(vars[0], 0.0)?;
+            g.sum(y)
+        });
+        assert!(result.is_err());
+    }
+}

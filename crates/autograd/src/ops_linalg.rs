@@ -1,0 +1,505 @@
+//! Linear algebra, reshaping and reduction operations with gradients.
+
+use crate::{AutogradError, Graph, Result, Var};
+use snappix_tensor::Tensor;
+
+impl Graph {
+    /// Matrix multiplication (rank-2, batched rank-3, or rank-3 by shared
+    /// rank-2 right-hand side), mirroring
+    /// [`snappix_tensor::Tensor::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on inner-dimension mismatches or foreign handles.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let value = self.value(a).matmul(self.value(b))?;
+        let (ra, rb) = (self.value(a).rank(), self.value(b).rank());
+        Ok(self.push_op(
+            value,
+            vec![a, b],
+            Box::new(move |g, parents| {
+                let (av, bv) = (parents[0], parents[1]);
+                match (ra, rb) {
+                    (2, 2) | (3, 3) => {
+                        let da = g
+                            .matmul(&bv.transpose().expect("rank >= 2"))
+                            .expect("shapes match forward");
+                        let db = av
+                            .transpose()
+                            .expect("rank >= 2")
+                            .matmul(g)
+                            .expect("shapes match forward");
+                        vec![da, db]
+                    }
+                    (3, 2) => {
+                        // a: [batch, m, k], b: [k, n], g: [batch, m, n]
+                        let da = g
+                            .matmul(&bv.transpose().expect("rank 2"))
+                            .expect("shapes match forward");
+                        let (batch, m, k) = (av.shape()[0], av.shape()[1], av.shape()[2]);
+                        let n = bv.shape()[1];
+                        let a_flat = av.reshape(&[batch * m, k]).expect("same length");
+                        let g_flat = g.reshape(&[batch * m, n]).expect("same length");
+                        let db = a_flat
+                            .transpose()
+                            .expect("rank 2")
+                            .matmul(&g_flat)
+                            .expect("shapes match forward");
+                        vec![da, db]
+                    }
+                    _ => unreachable!("forward would have rejected these ranks"),
+                }
+            }),
+        ))
+    }
+
+    /// Transposes the last two axes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for rank < 2 or a foreign handle.
+    pub fn transpose(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let value = self.value(a).transpose()?;
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(|g, _| vec![g.transpose().expect("rank >= 2")]),
+        ))
+    }
+
+    /// Permutes axes; backward applies the inverse permutation.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `perm` is a permutation of `0..rank`.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Result<Var> {
+        self.check(a)?;
+        let value = self.value(a).permute(perm)?;
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(move |g, _| vec![g.permute(&inverse).expect("inverse permutation")]),
+        ))
+    }
+
+    /// Reshapes without changing data.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element counts differ.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Result<Var> {
+        self.check(a)?;
+        let value = self.value(a).reshape(shape)?;
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(|g, parents| vec![g.reshape(parents[0].shape()).expect("same length")]),
+        ))
+    }
+
+    /// Sum of all elements, producing a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails for a foreign handle.
+    pub fn sum(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let value = Tensor::scalar(self.value(a).sum());
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(|g, parents| {
+                let s = g.as_slice()[0];
+                vec![Tensor::full(parents[0].shape(), s)]
+            }),
+        ))
+    }
+
+    /// Mean of all elements, producing a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails for a foreign handle.
+    pub fn mean(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let n = self.value(a).len().max(1) as f32;
+        let value = Tensor::scalar(self.value(a).mean());
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(move |g, parents| {
+                let s = g.as_slice()[0] / n;
+                vec![Tensor::full(parents[0].shape(), s)]
+            }),
+        ))
+    }
+
+    /// Sums along `axis`, keeping it with extent 1 when `keepdims`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis >= rank`.
+    pub fn sum_axis(&mut self, a: Var, axis: usize, keepdims: bool) -> Result<Var> {
+        self.check(a)?;
+        let value = self.value(a).sum_axis(axis, keepdims)?;
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(move |g, parents| {
+                let target = parents[0].shape();
+                let g_keep = if keepdims {
+                    g.clone()
+                } else {
+                    g.unsqueeze(axis).expect("axis valid in forward")
+                };
+                vec![g_keep.broadcast_to(target).expect("unit axis expands")]
+            }),
+        ))
+    }
+
+    /// Means along `axis`, keeping it with extent 1 when `keepdims`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis >= rank`.
+    pub fn mean_axis(&mut self, a: Var, axis: usize, keepdims: bool) -> Result<Var> {
+        self.check(a)?;
+        let n = *self
+            .value(a)
+            .shape()
+            .get(axis)
+            .ok_or(AutogradError::Tensor(
+                snappix_tensor::TensorError::AxisOutOfRange {
+                    axis,
+                    rank: self.value(a).rank(),
+                },
+            ))? as f32;
+        let s = self.sum_axis(a, axis, keepdims)?;
+        self.scale(s, 1.0 / n.max(1.0))
+    }
+
+    /// Softmax along the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Fails for rank-0 tensors.
+    pub fn softmax(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let value = self.value(a).softmax_last()?;
+        let cached = value.clone();
+        Ok(self.push_op(
+            value,
+            vec![a],
+            Box::new(move |g, _| {
+                // dX = S * (dY - sum(dY * S, last))
+                let gs = g.mul(&cached).expect("same shape");
+                let last = cached.rank() - 1;
+                let row_sum = gs.sum_axis(last, true).expect("axis valid");
+                let centered = g.sub(&row_sum).expect("broadcast row");
+                vec![centered.mul(&cached).expect("same shape")]
+            }),
+        ))
+    }
+
+    /// Layer normalization over the last axis with learnable `gamma`/`beta`
+    /// composed from primitive ops (so gradients need no bespoke code).
+    ///
+    /// `gamma` and `beta` must be broadcastable against the input (typically
+    /// shape `[d]` for input `[..., d]`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatches.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Result<Var> {
+        self.check(x)?;
+        let last = self
+            .value(x)
+            .rank()
+            .checked_sub(1)
+            .ok_or(AutogradError::NotScalar { shape: vec![] })?;
+        let mu = self.mean_axis(x, last, true)?;
+        let centered = self.sub(x, mu)?;
+        let sq = self.mul(centered, centered)?;
+        let var = self.mean_axis(sq, last, true)?;
+        let var_eps = self.add_scalar(var, eps)?;
+        let inv_std = self.powf(var_eps, -0.5)?;
+        let normed = self.mul(centered, inv_std)?;
+        let scaled = self.mul(normed, gamma)?;
+        self.add(scaled, beta)
+    }
+
+    /// Fused softmax-cross-entropy between `logits` (`[batch, classes]`) and
+    /// integer `targets`, returning the mean loss as a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-rank-2 logits, a target list whose length differs from
+    /// the batch, or an out-of-range class index.
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize]) -> Result<Var> {
+        self.check(logits)?;
+        let lv = self.value(logits);
+        if lv.rank() != 2 {
+            return Err(AutogradError::Tensor(
+                snappix_tensor::TensorError::RankMismatch {
+                    expected: 2,
+                    got: lv.rank(),
+                },
+            ));
+        }
+        let (batch, classes) = (lv.shape()[0], lv.shape()[1]);
+        if targets.len() != batch {
+            return Err(AutogradError::InvalidArgument {
+                context: format!("{} targets for batch of {batch}", targets.len()),
+            });
+        }
+        for &t in targets {
+            if t >= classes {
+                return Err(AutogradError::InvalidArgument {
+                    context: format!("target class {t} out of {classes}"),
+                });
+            }
+        }
+        let probs = lv.softmax_last()?;
+        let mut loss = 0.0f32;
+        for (b, &t) in targets.iter().enumerate() {
+            loss -= probs.get(&[b, t]).expect("validated index").max(1e-12).ln();
+        }
+        loss /= batch as f32;
+        let probs_cached = probs;
+        let targets_owned = targets.to_vec();
+        Ok(self.push_op(
+            Tensor::scalar(loss),
+            vec![logits],
+            Box::new(move |g, _| {
+                let s = g.as_slice()[0] / batch as f32;
+                let mut d = probs_cached.clone();
+                {
+                    let dd = d.as_mut_slice();
+                    for (b, &t) in targets_owned.iter().enumerate() {
+                        dd[b * classes + t] -= 1.0;
+                    }
+                }
+                vec![d.scale(s)]
+            }),
+        ))
+    }
+
+    /// Mean-squared-error between `pred` and a constant `target`, returning
+    /// the scalar mean over all elements.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shapes differ.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Result<Var> {
+        self.check(pred)?;
+        if self.value(pred).shape() != target.shape() {
+            return Err(AutogradError::Tensor(
+                snappix_tensor::TensorError::IncompatibleShapes {
+                    context: format!(
+                        "mse pred {:?} vs target {:?}",
+                        self.value(pred).shape(),
+                        target.shape()
+                    ),
+                },
+            ));
+        }
+        let t = self.leaf(target.clone(), false);
+        let diff = self.sub(pred, t)?;
+        let sq = self.mul(diff, diff)?;
+        self.mean(sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradients;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn matmul_2d_numeric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[4, 2], -1.0, 1.0);
+        check_gradients(&[a, b], |g, vars| {
+            let c = g.matmul(vars[0], vars[1])?;
+            g.sum(c)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_batched_numeric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[2, 4, 2], -1.0, 1.0);
+        check_gradients(&[a, b], |g, vars| {
+            let c = g.matmul(vars[0], vars[1])?;
+            g.sum(c)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_shared_rhs_numeric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[4, 5], -1.0, 1.0);
+        check_gradients(&[a, b], |g, vars| {
+            let c = g.matmul(vars[0], vars[1])?;
+            g.sum(c)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn transpose_and_permute_numeric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
+        check_gradients(&[a.clone()], |g, vars| {
+            let t = g.transpose(vars[0])?;
+            let s = g.mul(t, t)?;
+            g.sum(s)
+        })
+        .unwrap();
+        check_gradients(&[a], |g, vars| {
+            let p = g.permute(vars[0], &[2, 0, 1])?;
+            let s = g.mul(p, p)?;
+            g.sum(s)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reshape_numeric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::rand_uniform(&mut rng, &[2, 6], -1.0, 1.0);
+        check_gradients(&[a], |g, vars| {
+            let r = g.reshape(vars[0], &[3, 4])?;
+            let s = g.mul(r, r)?;
+            g.sum(s)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reductions_numeric() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
+        check_gradients(&[a.clone()], |g, vars| {
+            let s = g.sum_axis(vars[0], 0, false)?;
+            let q = g.mul(s, s)?;
+            g.sum(q)
+        })
+        .unwrap();
+        check_gradients(&[a.clone()], |g, vars| {
+            let s = g.mean_axis(vars[0], 1, true)?;
+            let q = g.mul(s, s)?;
+            g.sum(q)
+        })
+        .unwrap();
+        check_gradients(&[a], |g, vars| g.mean(vars[0])).unwrap();
+    }
+
+    #[test]
+    fn softmax_numeric() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&mut rng, &[2, 5], -2.0, 2.0);
+        check_gradients(&[a], |g, vars| {
+            let s = g.softmax(vars[0])?;
+            // A non-symmetric downstream function so errors can't cancel.
+            let w = g.leaf(Tensor::arange(5).reshape(&[1, 5]).unwrap(), false);
+            let m = g.mul(s, w)?;
+            g.sum(m)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn layer_norm_normalizes_and_differentiates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Tensor::rand_uniform(&mut rng, &[2, 6], -3.0, 3.0);
+        let gamma = Tensor::ones(&[6]);
+        let beta = Tensor::zeros(&[6]);
+
+        // Forward: rows have ~zero mean and ~unit variance.
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone(), true);
+        let gv = g.leaf(gamma.clone(), true);
+        let bv = g.leaf(beta.clone(), true);
+        let y = g.layer_norm(xv, gv, bv, 1e-5).unwrap();
+        let row0 = g.value(y).slice_axis(0, 0, 1).unwrap();
+        assert!(row0.mean().abs() < 1e-5);
+        assert!((row0.variance() - 1.0).abs() < 1e-3);
+
+        check_gradients(&[x, gamma, beta], |g, vars| {
+            let y = g.layer_norm(vars[0], vars[1], vars[2], 1e-5)?;
+            let w = g.leaf(Tensor::arange(6).reshape(&[1, 6]).unwrap(), false);
+            let m = g.mul(y, w)?;
+            g.sum(m)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.leaf(
+            Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3]).unwrap(),
+            true,
+        );
+        let loss = g.cross_entropy_logits(logits, &[0, 1]).unwrap();
+        // Manual: -log softmax[0,0] and -log softmax[1,1], averaged.
+        let p00 = (2.0f32).exp() / ((2.0f32).exp() + 2.0);
+        let p11 = (3.0f32).exp() / ((3.0f32).exp() + 2.0);
+        let expected = -(p00.ln() + p11.ln()) / 2.0;
+        assert!((g.value(loss).as_slice()[0] - expected).abs() < 1e-5);
+        g.backward(loss).unwrap();
+        // Gradient rows sum to zero (softmax minus one-hot).
+        let grad = g.grad(logits).unwrap();
+        for b in 0..2 {
+            let row_sum: f32 = (0..3).map(|c| grad.get(&[b, c]).unwrap()).sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_numeric() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let logits = Tensor::rand_uniform(&mut rng, &[3, 4], -2.0, 2.0);
+        check_gradients(&[logits], |g, vars| {
+            g.cross_entropy_logits(vars[0], &[1, 3, 0])
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let mut g = Graph::new();
+        let l = g.leaf(Tensor::zeros(&[2, 3]), true);
+        assert!(g.cross_entropy_logits(l, &[0]).is_err());
+        assert!(g.cross_entropy_logits(l, &[0, 5]).is_err());
+        let l1 = g.leaf(Tensor::zeros(&[6]), true);
+        assert!(g.cross_entropy_logits(l1, &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(), true);
+        let target = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        let loss = g.mse_loss(p, &target).unwrap();
+        // ((1-0)^2 + (2-4)^2) / 2 = 2.5
+        assert!((g.value(loss).as_slice()[0] - 2.5).abs() < 1e-6);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(p).unwrap().as_slice(), &[1.0, -2.0]);
+        assert!(g.mse_loss(p, &Tensor::zeros(&[3])).is_err());
+    }
+}

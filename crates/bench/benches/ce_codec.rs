@@ -1,0 +1,31 @@
+//! Criterion microbench: coded-exposure encode throughput (Eqn. 1) at
+//! several resolutions and slot counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_ce::{encode, encode_normalized, patterns};
+use snappix_tensor::Tensor;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ce_encode");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    for (t, hw) in [(8usize, 32usize), (16, 32), (16, 64), (16, 112)] {
+        let mask = patterns::random(t, (8, 8), 0.5, &mut rng).expect("valid dims");
+        let video = Tensor::rand_uniform(&mut rng, &[t, hw, hw], 0.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{t}x{hw}x{hw}")),
+            &(video.clone(), mask.clone()),
+            |b, (video, mask)| b.iter(|| encode(video, mask).expect("encode")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_normalized", format!("{t}x{hw}x{hw}")),
+            &(video, mask),
+            |b, (video, mask)| b.iter(|| encode_normalized(video, mask).expect("encode")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbench: the energy model sweeps (cheap by construction —
+//! this guards against accidental algorithmic regressions making the
+//! planner non-interactive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snappix_energy::{EnergyModel, Scenario, Wireless};
+
+fn bench_energy_sweep(c: &mut Criterion) {
+    let model = EnergyModel::paper();
+    c.bench_function("energy_slot_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for slots in 1..=64 {
+                for wireless in [Wireless::PassiveWifi, Wireless::LoraBackscatter] {
+                    let s = Scenario {
+                        frame_pixels: 112 * 112,
+                        slots,
+                        wireless,
+                    };
+                    total += model.edge_energy_saving(&s);
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_energy_sweep);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench: one decorrelation gradient step (Sec. III) and
+//! the Pearson-matrix statistics it rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_ce::{pearson_matrix, zero_mean_contrast, DecorrelationConfig, DecorrelationTrainer};
+use snappix_tensor::Tensor;
+
+fn bench_decorrelation_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_learning");
+    group.sample_size(10);
+    for (tile, batch) in [(4usize, 4usize), (8, 4), (8, 8)] {
+        let mut trainer = DecorrelationTrainer::new(DecorrelationConfig {
+            slots: 16,
+            tile: (tile, tile),
+            batch_size: batch,
+            ..DecorrelationConfig::default()
+        })
+        .expect("valid config");
+        let mut rng = StdRng::seed_from_u64(1);
+        let videos = Tensor::rand_uniform(&mut rng, &[batch, 16, 32, 32], 0.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("step", format!("tile{tile}_batch{batch}")),
+            &videos,
+            |b, videos| b.iter(|| trainer.step(videos).expect("step")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearson");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(2);
+    for p in [16usize, 64] {
+        let samples = Tensor::rand_uniform(&mut rng, &[256, p], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("matrix", p), &samples, |b, s| {
+            b.iter(|| {
+                let z = zero_mean_contrast(s).expect("rank 2");
+                pearson_matrix(&z).expect("enough samples")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decorrelation_step, bench_pearson);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbench: model forward passes — SnapPix-S vs SnapPix-B vs
+//! SVC2D vs the video transformer (Table I's throughput column), plus the
+//! SVC-slowdown comparison that motivates the ViT co-design (Sec. IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_ce::patterns;
+use snappix_models::{ActionModel, C3d, SnapPixAr, Svc2d, VideoVit, VitConfig};
+use snappix_nn::Session;
+use snappix_tensor::Tensor;
+
+const T: usize = 16;
+const HW: usize = 32;
+const CLASSES: usize = 10;
+
+fn clips(batch: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(0);
+    Tensor::rand_uniform(&mut rng, &[batch, T, HW, HW], 0.0, 1.0)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_forward");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mask = patterns::random(T, (8, 8), 0.5, &mut rng).expect("valid dims");
+    let videos = clips(4);
+
+    let snappix_s =
+        SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask.clone()).expect("geometry");
+    let snappix_b =
+        SnapPixAr::new(VitConfig::snappix_b(HW, HW, CLASSES), mask).expect("geometry");
+    let svc2d = Svc2d::new(T, HW, HW, 8, CLASSES).expect("geometry");
+    let c3d = C3d::new(T, HW, HW, CLASSES).expect("geometry");
+    let video_vit = VideoVit::new(T, HW, HW, CLASSES).expect("geometry");
+
+    let models: Vec<(&str, &dyn ActionModel)> = vec![
+        ("snappix_s", &snappix_s),
+        ("snappix_b", &snappix_b),
+        ("svc2d", &svc2d),
+        ("c3d", &c3d),
+        ("video_vit", &video_vit),
+    ];
+    for (name, model) in models {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sess = Session::inference(model.store());
+                model.build_logits(&mut sess, &videos).expect("forward")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

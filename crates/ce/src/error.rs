@@ -1,0 +1,83 @@
+use snappix_autograd::AutogradError;
+use snappix_tensor::TensorError;
+use std::fmt;
+
+/// Error type for coded-exposure operations.
+#[derive(Debug)]
+pub enum CeError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An autograd operation failed during mask learning.
+    Autograd(AutogradError),
+    /// A neural-network utility (optimizer) failed during mask learning.
+    Nn(snappix_nn::NnError),
+    /// A mask was structurally invalid (non-binary, wrong rank, zero
+    /// extents, or tile size not dividing the frame).
+    InvalidMask {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Configuration values were out of range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for CeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CeError::Autograd(e) => write!(f, "autograd error: {e}"),
+            CeError::Nn(e) => write!(f, "nn error: {e}"),
+            CeError::InvalidMask { context } => write!(f, "invalid exposure mask: {context}"),
+            CeError::InvalidConfig { context } => write!(f, "invalid configuration: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CeError::Tensor(e) => Some(e),
+            CeError::Autograd(e) => Some(e),
+            CeError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CeError {
+    fn from(e: TensorError) -> Self {
+        CeError::Tensor(e)
+    }
+}
+
+impl From<AutogradError> for CeError {
+    fn from(e: AutogradError) -> Self {
+        CeError::Autograd(e)
+    }
+}
+
+impl From<snappix_nn::NnError> for CeError {
+    fn from(e: snappix_nn::NnError) -> Self {
+        CeError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CeError = TensorError::InvalidArgument { context: "x".into() }.into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = CeError::InvalidMask {
+            context: "not binary".into(),
+        };
+        assert!(m.to_string().contains("not binary"));
+        assert!(std::error::Error::source(&m).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Exposure-mask persistence.
+//!
+//! A learned mask is the artifact that gets programmed into the sensor's
+//! pattern controller, so it needs a stable on-disk form. The format is a
+//! small line-oriented text file (easy to diff, easy to parse from
+//! firmware tooling):
+//!
+//! ```text
+//! snappix-mask v1
+//! slots 16
+//! tile 8 8
+//! # slot 0
+//! 10110101
+//! ...
+//! ```
+
+use crate::{CeError, ExposureMask, Result};
+use snappix_tensor::Tensor;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Serializes `mask` into its text form.
+pub fn mask_to_string(mask: &ExposureMask) -> String {
+    let (th, tw) = mask.tile();
+    let t = mask.num_slots();
+    let p = mask.pattern().as_slice();
+    let mut out = String::new();
+    out.push_str("snappix-mask v1\n");
+    out.push_str(&format!("slots {t}\n"));
+    out.push_str(&format!("tile {th} {tw}\n"));
+    for slot in 0..t {
+        out.push_str(&format!("# slot {slot}\n"));
+        for y in 0..th {
+            for x in 0..tw {
+                out.push(if p[slot * th * tw + y * tw + x] > 0.5 {
+                    '1'
+                } else {
+                    '0'
+                });
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a mask from its text form.
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidMask`] for malformed headers, wrong row
+/// counts/widths, or characters other than `0`/`1`.
+pub fn mask_from_str(text: &str) -> Result<ExposureMask> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().unwrap_or("");
+    if header != "snappix-mask v1" {
+        return Err(CeError::InvalidMask {
+            context: format!("bad header {header:?}"),
+        });
+    }
+    let slots = parse_kv(lines.next(), "slots")?;
+    let tile_line = lines.next().unwrap_or("");
+    let mut tile_parts = tile_line.split_whitespace();
+    if tile_parts.next() != Some("tile") {
+        return Err(CeError::InvalidMask {
+            context: format!("expected tile line, got {tile_line:?}"),
+        });
+    }
+    let th: usize = parse_usize(tile_parts.next(), "tile height")?;
+    let tw: usize = parse_usize(tile_parts.next(), "tile width")?;
+
+    let mut data = Vec::with_capacity(slots * th * tw);
+    for _slot in 0..slots {
+        for _y in 0..th {
+            let row = lines.next().ok_or_else(|| CeError::InvalidMask {
+                context: "file ends before all rows are read".to_string(),
+            })?;
+            if row.len() != tw {
+                return Err(CeError::InvalidMask {
+                    context: format!("row {row:?} is not {tw} bits wide"),
+                });
+            }
+            for ch in row.chars() {
+                data.push(match ch {
+                    '0' => 0.0,
+                    '1' => 1.0,
+                    other => {
+                        return Err(CeError::InvalidMask {
+                            context: format!("invalid bit character {other:?}"),
+                        })
+                    }
+                });
+            }
+        }
+    }
+    if lines.next().is_some() {
+        return Err(CeError::InvalidMask {
+            context: "trailing content after the last slot".to_string(),
+        });
+    }
+    ExposureMask::new(Tensor::from_vec(data, &[slots, th, tw])?)
+}
+
+/// Writes `mask` to `path` in the text format.
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidConfig`] wrapping the I/O failure message.
+pub fn save_mask(mask: &ExposureMask, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(mask_to_string(mask).as_bytes())
+        .map_err(io_err)
+}
+
+/// Reads a mask from `path`.
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidMask`] for malformed content or
+/// [`CeError::InvalidConfig`] for I/O failures.
+pub fn load_mask(path: impl AsRef<Path>) -> Result<ExposureMask> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut text = String::new();
+    for line in std::io::BufReader::new(file).lines() {
+        text.push_str(&line.map_err(io_err)?);
+        text.push('\n');
+    }
+    mask_from_str(&text)
+}
+
+fn io_err(e: std::io::Error) -> CeError {
+    CeError::InvalidConfig {
+        context: format!("mask i/o failed: {e}"),
+    }
+}
+
+fn parse_kv(line: Option<&str>, key: &str) -> Result<usize> {
+    let line = line.unwrap_or("");
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(key) {
+        return Err(CeError::InvalidMask {
+            context: format!("expected {key} line, got {line:?}"),
+        });
+    }
+    parse_usize(parts.next(), key)
+}
+
+fn parse_usize(token: Option<&str>, what: &str) -> Result<usize> {
+    token
+        .and_then(|t| t.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .ok_or_else(|| CeError::InvalidMask {
+            context: format!("missing or invalid {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip_through_string() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = patterns::random(4, (3, 5), 0.5, &mut rng).unwrap();
+        let text = mask_to_string(&mask);
+        let back = mask_from_str(&text).unwrap();
+        assert_eq!(back, mask);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = patterns::sparse_random(8, (4, 4), &mut rng).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("snappix_mask_{}.txt", std::process::id()));
+        save_mask(&mask, &path).unwrap();
+        let back = load_mask(&path).unwrap();
+        assert_eq!(back, mask);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_form_is_human_readable() {
+        let mask = patterns::long_exposure(2, (2, 2)).unwrap();
+        let text = mask_to_string(&mask);
+        assert!(text.starts_with("snappix-mask v1\nslots 2\ntile 2 2\n"));
+        assert!(text.contains("11"));
+        assert!(text.contains("# slot 1"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(mask_from_str("garbage").is_err());
+        assert!(mask_from_str("snappix-mask v1\nslots 0\ntile 2 2\n").is_err());
+        assert!(mask_from_str("snappix-mask v1\nslots 1\ntile 2 2\n11\n1\n").is_err());
+        assert!(mask_from_str("snappix-mask v1\nslots 1\ntile 2 2\n11\n1x\n").is_err());
+        assert!(mask_from_str("snappix-mask v1\nslots 1\ntile 2 2\n11\n").is_err());
+        // Trailing content.
+        assert!(mask_from_str("snappix-mask v1\nslots 1\ntile 1 1\n1\n0\n").is_err());
+        // Missing tile keyword.
+        assert!(mask_from_str("snappix-mask v1\nslots 1\nsize 1 1\n1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "snappix-mask v1\n\n# a comment\nslots 1\ntile 1 2\n# body\n10\n";
+        let mask = mask_from_str(text).unwrap();
+        assert_eq!(mask.pattern().as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_mask("/definitely/not/a/path.txt").is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! The tile-repetitive exposure mask.
+
+use crate::{CeError, Result};
+use snappix_tensor::Tensor;
+
+/// A tile-repetitive binary exposure mask.
+///
+/// Stores the `[t, th, tw]` tile pattern; the full-frame mask `M` of Eqn. 1
+/// is this pattern repeated across the image (paper Sec. IV). A "global"
+/// (non-repetitive) mask — the pattern the paper ablates against — is
+/// simply an `ExposureMask` whose tile is the whole frame.
+///
+/// Invariants enforced at construction: rank 3, all extents positive, and
+/// every element exactly `0.0` or `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_ce::ExposureMask;
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_ce::CeError> {
+/// let mask = ExposureMask::new(Tensor::ones(&[16, 8, 8]))?; // long exposure
+/// assert_eq!(mask.num_slots(), 16);
+/// assert_eq!(mask.tile(), (8, 8));
+/// assert_eq!(mask.open_fraction(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureMask {
+    pattern: Tensor,
+}
+
+impl ExposureMask {
+    /// Wraps a `[t, th, tw]` binary tensor as a mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CeError::InvalidMask`] for wrong rank, zero extents, or
+    /// non-binary values.
+    pub fn new(pattern: Tensor) -> Result<Self> {
+        if pattern.rank() != 3 {
+            return Err(CeError::InvalidMask {
+                context: format!("expected rank 3, got {:?}", pattern.shape()),
+            });
+        }
+        if pattern.shape().contains(&0) {
+            return Err(CeError::InvalidMask {
+                context: format!("zero extent in {:?}", pattern.shape()),
+            });
+        }
+        if pattern.as_slice().iter().any(|&x| x != 0.0 && x != 1.0) {
+            return Err(CeError::InvalidMask {
+                context: "mask values must be exactly 0.0 or 1.0".to_string(),
+            });
+        }
+        Ok(ExposureMask { pattern })
+    }
+
+    /// The underlying `[t, th, tw]` tile pattern.
+    pub fn pattern(&self) -> &Tensor {
+        &self.pattern
+    }
+
+    /// Number of exposure slots `t`.
+    pub fn num_slots(&self) -> usize {
+        self.pattern.shape()[0]
+    }
+
+    /// Tile extents `(th, tw)`.
+    pub fn tile(&self) -> (usize, usize) {
+        (self.pattern.shape()[1], self.pattern.shape()[2])
+    }
+
+    /// Number of pixels per tile.
+    pub fn pixels_per_tile(&self) -> usize {
+        let (th, tw) = self.tile();
+        th * tw
+    }
+
+    /// Fraction of (slot, pixel) cells that are open.
+    pub fn open_fraction(&self) -> f32 {
+        self.pattern.mean()
+    }
+
+    /// Per-tile-pixel exposure counts: `[th, tw]`, each entry the number of
+    /// slots in which that pixel is exposed.
+    pub fn exposure_counts(&self) -> Tensor {
+        self.pattern
+            .sum_axis(0, false)
+            .expect("rank-3 invariant guarantees axis 0")
+    }
+
+    /// Expands the tile pattern to a full `[t, h, w]` frame mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CeError::InvalidMask`] unless the tile divides `h x w`.
+    pub fn expand_to(&self, h: usize, w: usize) -> Result<Tensor> {
+        let (th, tw) = self.tile();
+        if h == 0 || w == 0 || !h.is_multiple_of(th) || !w.is_multiple_of(tw) {
+            return Err(CeError::InvalidMask {
+                context: format!("tile {th}x{tw} does not divide frame {h}x{w}"),
+            });
+        }
+        let t = self.num_slots();
+        let mut out = Tensor::zeros(&[t, h, w]);
+        let src = self.pattern.as_slice();
+        let dst = out.as_mut_slice();
+        for f in 0..t {
+            for y in 0..h {
+                for x in 0..w {
+                    dst[f * h * w + y * w + x] = src[f * th * tw + (y % th) * tw + (x % tw)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The compression ratio achieved by this mask: `t` frames become one
+    /// coded image, so the ratio equals [`ExposureMask::num_slots`].
+    pub fn compression_ratio(&self) -> usize {
+        self.num_slots()
+    }
+
+    /// Returns `true` when at least one slot exposes each tile pixel —
+    /// masks violating this lose those pixels entirely (the degenerate
+    /// collapse the paper's zero-mean encoding guards against).
+    pub fn covers_all_pixels(&self) -> bool {
+        self.exposure_counts().as_slice().iter().all(|&c| c > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ExposureMask::new(Tensor::ones(&[2, 2])).is_err());
+        assert!(ExposureMask::new(Tensor::zeros(&[0, 2, 2])).is_err());
+        assert!(ExposureMask::new(Tensor::full(&[2, 2, 2], 0.5)).is_err());
+        assert!(ExposureMask::new(Tensor::ones(&[2, 2, 2])).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = ExposureMask::new(Tensor::ones(&[4, 2, 3])).unwrap();
+        assert_eq!(m.num_slots(), 4);
+        assert_eq!(m.tile(), (2, 3));
+        assert_eq!(m.pixels_per_tile(), 6);
+        assert_eq!(m.compression_ratio(), 4);
+        assert_eq!(m.open_fraction(), 1.0);
+        assert!(m.covers_all_pixels());
+    }
+
+    #[test]
+    fn exposure_counts_sum_slots() {
+        // Slot 0 exposes everything; slot 1 exposes nothing.
+        let p = Tensor::concat(&[&Tensor::ones(&[1, 2, 2]), &Tensor::zeros(&[1, 2, 2])], 0)
+            .unwrap();
+        let m = ExposureMask::new(p).unwrap();
+        assert_eq!(m.exposure_counts().as_slice(), &[1.0; 4]);
+        assert_eq!(m.open_fraction(), 0.5);
+    }
+
+    #[test]
+    fn expand_tiles_pattern() {
+        let mut p = Tensor::zeros(&[1, 2, 2]);
+        p.set(&[0, 0, 0], 1.0).unwrap();
+        let m = ExposureMask::new(p).unwrap();
+        let full = m.expand_to(4, 4).unwrap();
+        assert_eq!(full.shape(), &[1, 4, 4]);
+        // The 1 repeats at even coordinates.
+        assert_eq!(full.get(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(full.get(&[0, 2, 2]).unwrap(), 1.0);
+        assert_eq!(full.get(&[0, 1, 1]).unwrap(), 0.0);
+        assert_eq!(full.sum(), 4.0);
+    }
+
+    #[test]
+    fn expand_requires_divisibility() {
+        let m = ExposureMask::new(Tensor::ones(&[1, 3, 3])).unwrap();
+        assert!(m.expand_to(9, 9).is_ok());
+        assert!(m.expand_to(8, 9).is_err());
+        assert!(m.expand_to(0, 9).is_err());
+    }
+
+    #[test]
+    fn covers_all_pixels_detects_dead_pixels() {
+        let mut p = Tensor::ones(&[2, 2, 2]);
+        p.set(&[0, 1, 1], 0.0).unwrap();
+        p.set(&[1, 1, 1], 0.0).unwrap();
+        let m = ExposureMask::new(p).unwrap();
+        assert!(!m.covers_all_pixels());
+    }
+}

@@ -1,0 +1,186 @@
+//! Built-in task-agnostic exposure patterns (the paper's Fig. 6 baselines).
+
+use crate::{CeError, ExposureMask, Result};
+use rand::Rng;
+use snappix_tensor::Tensor;
+use std::fmt;
+
+/// The task-agnostic pattern families compared in the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// SnapPix's decorrelation-learned pattern (Sec. III).
+    Decorrelated,
+    /// Every pixel exposed in every slot.
+    LongExposure,
+    /// Every pixel exposed every 8th slot.
+    ShortExposure,
+    /// Each (pixel, slot) cell open independently with probability 0.5.
+    Random,
+    /// Each pixel open in exactly one uniformly random slot.
+    SparseRandom,
+}
+
+impl fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PatternKind::Decorrelated => "decorrelated",
+            PatternKind::LongExposure => "long-exposure",
+            PatternKind::ShortExposure => "short-exposure",
+            PatternKind::Random => "random",
+            PatternKind::SparseRandom => "sparse-random",
+        };
+        f.write_str(name)
+    }
+}
+
+fn check_dims(t: usize, tile: (usize, usize)) -> Result<()> {
+    if t == 0 || tile.0 == 0 || tile.1 == 0 {
+        return Err(CeError::InvalidConfig {
+            context: format!("pattern dims t={t}, tile={tile:?} must be positive"),
+        });
+    }
+    Ok(())
+}
+
+/// LONG EXPOSURE: all pixels exposed in all `t` slots.
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidConfig`] for zero extents.
+pub fn long_exposure(t: usize, tile: (usize, usize)) -> Result<ExposureMask> {
+    check_dims(t, tile)?;
+    ExposureMask::new(Tensor::ones(&[t, tile.0, tile.1]))
+}
+
+/// SHORT EXPOSURE: all pixels exposed every `period`-th slot (the paper
+/// uses every 8th frame with `t = 16`).
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidConfig`] for zero extents or a zero period.
+pub fn short_exposure(t: usize, tile: (usize, usize), period: usize) -> Result<ExposureMask> {
+    check_dims(t, tile)?;
+    if period == 0 {
+        return Err(CeError::InvalidConfig {
+            context: "short exposure period must be positive".to_string(),
+        });
+    }
+    let mut p = Tensor::zeros(&[t, tile.0, tile.1]);
+    let (th, tw) = tile;
+    let data = p.as_mut_slice();
+    for f in (0..t).step_by(period) {
+        for i in 0..th * tw {
+            data[f * th * tw + i] = 1.0;
+        }
+    }
+    ExposureMask::new(p)
+}
+
+/// RANDOM: each (pixel, slot) cell open independently with probability
+/// `prob` (the paper uses 0.5).
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidConfig`] for zero extents or a probability
+/// outside `[0, 1]`.
+pub fn random<R: Rng + ?Sized>(
+    t: usize,
+    tile: (usize, usize),
+    prob: f32,
+    rng: &mut R,
+) -> Result<ExposureMask> {
+    check_dims(t, tile)?;
+    if !(0.0..=1.0).contains(&prob) {
+        return Err(CeError::InvalidConfig {
+            context: format!("probability {prob} outside [0, 1]"),
+        });
+    }
+    ExposureMask::new(Tensor::rand_bernoulli(rng, &[t, tile.0, tile.1], prob))
+}
+
+/// SPARSE RANDOM: each pixel exposed in exactly one uniformly random slot.
+///
+/// # Errors
+///
+/// Returns [`CeError::InvalidConfig`] for zero extents.
+pub fn sparse_random<R: Rng + ?Sized>(
+    t: usize,
+    tile: (usize, usize),
+    rng: &mut R,
+) -> Result<ExposureMask> {
+    check_dims(t, tile)?;
+    let (th, tw) = tile;
+    let mut p = Tensor::zeros(&[t, th, tw]);
+    let data = p.as_mut_slice();
+    for i in 0..th * tw {
+        let slot = rng.random_range(0..t);
+        data[slot * th * tw + i] = 1.0;
+    }
+    ExposureMask::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn long_exposure_is_all_open() {
+        let m = long_exposure(16, (8, 8)).unwrap();
+        assert_eq!(m.open_fraction(), 1.0);
+        assert_eq!(m.exposure_counts().as_slice()[0], 16.0);
+    }
+
+    #[test]
+    fn short_exposure_period_8() {
+        let m = short_exposure(16, (4, 4), 8).unwrap();
+        // Slots 0 and 8 open -> 2 exposures per pixel.
+        assert_eq!(m.exposure_counts().as_slice(), &[2.0; 16]);
+        assert!((m.open_fraction() - 2.0 / 16.0).abs() < 1e-6);
+        assert!(short_exposure(16, (4, 4), 0).is_err());
+    }
+
+    #[test]
+    fn random_rate_near_half() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = random(16, (16, 16), 0.5, &mut rng).unwrap();
+        assert!((m.open_fraction() - 0.5).abs() < 0.05);
+        assert!(random(16, (4, 4), 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparse_random_exactly_one_slot_each() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = sparse_random(16, (8, 8), &mut rng).unwrap();
+        assert_eq!(m.exposure_counts().as_slice(), &[1.0; 64]);
+        assert!(m.covers_all_pixels());
+        // Slots should vary across pixels (not everything in one slot).
+        let per_slot = m.pattern().sum_axis(1, false).unwrap().sum_axis(1, false).unwrap();
+        let occupied = per_slot.as_slice().iter().filter(|&&s| s > 0.0).count();
+        assert!(occupied > 4, "only {occupied} slots used");
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(long_exposure(0, (4, 4)).is_err());
+        assert!(short_exposure(16, (0, 4), 8).is_err());
+        assert!(random(16, (4, 0), 0.5, &mut rng).is_err());
+        assert!(sparse_random(0, (4, 4), &mut rng).is_err());
+    }
+
+    #[test]
+    fn pattern_kind_names_unique() {
+        let kinds = [
+            PatternKind::Decorrelated,
+            PatternKind::LongExposure,
+            PatternKind::ShortExposure,
+            PatternKind::Random,
+            PatternKind::SparseRandom,
+        ];
+        let mut names: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Edge-GPU scenario (paper Sec. VI-D, last paragraph).
+//!
+//! When the edge node carries a mobile GPU (the paper measures a Jetson
+//! Xavier's Volta GPU at batch size 1), inference energy dominates the
+//! total. SnapPix wins because its model consumes a *single coded image*
+//! rather than a 16-frame clip, so a larger backbone still costs less than
+//! the video baselines. The per-inference energies below are calibrated so
+//! the paper's reported ratios hold (1.4x vs VideoMAEv2-ST, 4.5x vs C3D
+//! for SnapPix-S); absolute numbers substitute for the unavailable Jetson
+//! measurements.
+
+use crate::{EnergyModel, Scenario};
+
+/// Model classes with published edge-GPU comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuModelClass {
+    /// SnapPix with the ViT-S backbone (coded-image input).
+    SnapPixS,
+    /// SnapPix with the ViT-B backbone (coded-image input).
+    SnapPixB,
+    /// VideoMAEv2-ST on 16 uncoded frames.
+    VideoMaeSt,
+    /// C3D on 16 uncoded frames.
+    C3d,
+    /// SVC2D on a coded image (shift-variant convolutions).
+    Svc2d,
+}
+
+/// Per-inference energy model of a Jetson-Xavier-class mobile GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JetsonXavierModel {
+    snappix_s_mj: f64,
+    snappix_b_mj: f64,
+    videomae_st_mj: f64,
+    c3d_mj: f64,
+    svc2d_mj: f64,
+}
+
+impl JetsonXavierModel {
+    /// Energies calibrated to the paper's reported ratios: SnapPix-S saves
+    /// 1.4x against VideoMAEv2-ST and 4.5x against C3D.
+    pub fn paper() -> Self {
+        JetsonXavierModel {
+            snappix_s_mj: 20.0,
+            snappix_b_mj: 55.0,
+            videomae_st_mj: 28.0, // 1.4 x 20
+            c3d_mj: 90.0,         // 4.5 x 20
+            svc2d_mj: 24.0,       // SVC inefficiency despite the small net
+        }
+    }
+
+    /// Per-inference energy in millijoules for `model`.
+    pub fn inference_mj(&self, model: GpuModelClass) -> f64 {
+        match model {
+            GpuModelClass::SnapPixS => self.snappix_s_mj,
+            GpuModelClass::SnapPixB => self.snappix_b_mj,
+            GpuModelClass::VideoMaeSt => self.videomae_st_mj,
+            GpuModelClass::C3d => self.c3d_mj,
+            GpuModelClass::Svc2d => self.svc2d_mj,
+        }
+    }
+}
+
+impl Default for JetsonXavierModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Edge node with sensing plus on-board GPU inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeGpuScenario {
+    /// Sensing workload (resolution, slots; wireless unused on-device but
+    /// kept for sensing cost parity).
+    pub sensing: Scenario,
+    /// GPU energy model.
+    pub gpu: JetsonXavierModel,
+}
+
+impl EdgeGpuScenario {
+    /// Total edge energy (pJ) when running `model` on the edge GPU.
+    ///
+    /// Coded-image models pay SnapPix sensing (single read-out); video
+    /// models pay conventional sensing (read out every frame). Data stays
+    /// on-device, so no wireless term.
+    pub fn total_pj(&self, energy: &EnergyModel, model: GpuModelClass) -> f64 {
+        let no_wireless = Scenario {
+            wireless: crate::Wireless::Custom(0.0),
+            ..self.sensing
+        };
+        let sensing = match model {
+            GpuModelClass::SnapPixS | GpuModelClass::SnapPixB | GpuModelClass::Svc2d => {
+                energy.snappix_energy(&no_wireless).total_pj()
+            }
+            GpuModelClass::VideoMaeSt | GpuModelClass::C3d => {
+                energy.conventional_energy(&no_wireless).total_pj()
+            }
+        };
+        sensing + self.gpu.inference_mj(model) * 1e9 // mJ -> pJ
+    }
+
+    /// Energy saving of running `ours` instead of `baseline` on the edge.
+    pub fn saving(&self, energy: &EnergyModel, ours: GpuModelClass, baseline: GpuModelClass) -> f64 {
+        self.total_pj(energy, baseline) / self.total_pj(energy, ours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Wireless;
+
+    fn scenario() -> EdgeGpuScenario {
+        EdgeGpuScenario {
+            sensing: Scenario {
+                frame_pixels: 112 * 112,
+                slots: 16,
+                wireless: Wireless::PassiveWifi,
+            },
+            gpu: JetsonXavierModel::paper(),
+        }
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        let e = EnergyModel::paper();
+        let s = scenario();
+        let vs_videomae = s.saving(&e, GpuModelClass::SnapPixS, GpuModelClass::VideoMaeSt);
+        let vs_c3d = s.saving(&e, GpuModelClass::SnapPixS, GpuModelClass::C3d);
+        assert!(
+            (vs_videomae - 1.4).abs() < 0.1,
+            "vs VideoMAE: {vs_videomae}, paper 1.4"
+        );
+        assert!((vs_c3d - 4.5).abs() < 0.3, "vs C3D: {vs_c3d}, paper 4.5");
+    }
+
+    #[test]
+    fn gpu_energy_dominates_sensing() {
+        let e = EnergyModel::paper();
+        let s = scenario();
+        let total = s.total_pj(&e, GpuModelClass::SnapPixS);
+        let gpu_only = s.gpu.inference_mj(GpuModelClass::SnapPixS) * 1e9;
+        assert!(gpu_only / total > 0.9, "GPU should dominate the total");
+    }
+
+    #[test]
+    fn snappix_b_costs_more_than_s_but_less_than_c3d() {
+        let g = JetsonXavierModel::paper();
+        assert!(g.inference_mj(GpuModelClass::SnapPixB) > g.inference_mj(GpuModelClass::SnapPixS));
+        assert!(g.inference_mj(GpuModelClass::SnapPixB) < g.inference_mj(GpuModelClass::C3d));
+    }
+
+    #[test]
+    fn saving_is_reciprocal(){
+        let e = EnergyModel::paper();
+        let s = scenario();
+        let ab = s.saving(&e, GpuModelClass::SnapPixS, GpuModelClass::C3d);
+        let ba = s.saving(&e, GpuModelClass::C3d, GpuModelClass::SnapPixS);
+        assert!((ab * ba - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! The edge-server energy model.
+
+/// Wireless link used to offload data from the sensing node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Wireless {
+    /// Passive WiFi, ~10 m range: 43.04 pJ/pixel (paper, citing
+    /// Kellogg et al.).
+    PassiveWifi,
+    /// LoRa backscatter, >100 m range: 7.4 µJ/pixel (paper, citing
+    /// Talla et al.).
+    LoraBackscatter,
+    /// A custom link with the given energy per pixel in pJ.
+    Custom(f64),
+}
+
+impl Wireless {
+    /// Transmission energy in pJ per (8-bit) pixel.
+    pub fn pj_per_pixel(self) -> f64 {
+        match self {
+            Wireless::PassiveWifi => 43.04,
+            Wireless::LoraBackscatter => 7.4e6,
+            Wireless::Custom(pj) => pj,
+        }
+    }
+}
+
+/// One sensing workload: a `slots`-frame capture window at a given
+/// resolution, offloaded over a wireless link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Pixels per frame (the paper evaluates 112 x 112).
+    pub frame_pixels: usize,
+    /// Exposure slots `T` compressed into one coded image (paper: 16).
+    pub slots: usize,
+    /// The offload link.
+    pub wireless: Wireless,
+}
+
+/// Itemized energy for one capture window, in pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// ADC + MIPI read-out energy.
+    pub readout_pj: f64,
+    /// Analog/exposure energy (the non-readout 4.4% of sensing).
+    pub exposure_pj: f64,
+    /// CE pattern-control overhead (zero for conventional capture).
+    pub ce_overhead_pj: f64,
+    /// Wireless transmission energy.
+    pub wireless_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.readout_pj + self.exposure_pj + self.ce_overhead_pj + self.wireless_pj
+    }
+}
+
+/// The per-component energy model with the paper's constants.
+///
+/// The model prices a conventional pipeline (read out and transmit every
+/// frame) against the SnapPix pipeline (expose every slot, but read out
+/// and transmit a single coded image, paying the CE control overhead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Total sensing energy per pixel read-out, pJ (paper: 220).
+    pub sensing_pj_per_pixel: f64,
+    /// Fraction of sensing energy attributable to ADC + MIPI
+    /// (paper: 0.956).
+    pub adc_mipi_fraction: f64,
+    /// CE support overhead per pixel per exposure slot, pJ (paper: 9 per
+    /// pixel from synthesis at a 20 MHz pattern clock).
+    pub ce_overhead_pj_per_pixel_slot: f64,
+}
+
+impl EnergyModel {
+    /// The model with the paper's published constants.
+    pub fn paper() -> Self {
+        EnergyModel {
+            sensing_pj_per_pixel: 220.0,
+            adc_mipi_fraction: 0.956,
+            ce_overhead_pj_per_pixel_slot: 9.0,
+        }
+    }
+
+    /// ADC + MIPI energy per read-out pixel, pJ.
+    pub fn readout_pj_per_pixel(&self) -> f64 {
+        self.sensing_pj_per_pixel * self.adc_mipi_fraction
+    }
+
+    /// Exposure (non-readout) energy per pixel per integrated frame, pJ.
+    pub fn exposure_pj_per_pixel(&self) -> f64 {
+        self.sensing_pj_per_pixel * (1.0 - self.adc_mipi_fraction)
+    }
+
+    /// Energy of a conventional sensor over one capture window: every one
+    /// of the `slots` frames is exposed, read out, and transmitted.
+    pub fn conventional_energy(&self, s: &Scenario) -> EnergyBreakdown {
+        let px = s.frame_pixels as f64;
+        let t = s.slots as f64;
+        EnergyBreakdown {
+            readout_pj: t * px * self.readout_pj_per_pixel(),
+            exposure_pj: t * px * self.exposure_pj_per_pixel(),
+            ce_overhead_pj: 0.0,
+            wireless_pj: t * px * s.wireless.pj_per_pixel(),
+        }
+    }
+
+    /// Energy of the SnapPix sensor over one capture window: all `slots`
+    /// are exposed in-pixel, but only one coded image is read out and
+    /// transmitted; the CE pattern machinery is paid per slot.
+    pub fn snappix_energy(&self, s: &Scenario) -> EnergyBreakdown {
+        let px = s.frame_pixels as f64;
+        let t = s.slots as f64;
+        EnergyBreakdown {
+            readout_pj: px * self.readout_pj_per_pixel(),
+            exposure_pj: t * px * self.exposure_pj_per_pixel(),
+            ce_overhead_pj: t * px * self.ce_overhead_pj_per_pixel_slot,
+            wireless_pj: px * s.wireless.pj_per_pixel(),
+        }
+    }
+
+    /// Edge energy saving factor: conventional total over SnapPix total.
+    pub fn edge_energy_saving(&self, s: &Scenario) -> f64 {
+        self.conventional_energy(s).total_pj() / self.snappix_energy(s).total_pj()
+    }
+
+    /// Reduction factor of the ADC/MIPI + wireless portion alone — by
+    /// construction equal to `slots` (the paper's "16x").
+    pub fn readout_and_wireless_reduction(&self, s: &Scenario) -> f64 {
+        let conv = self.conventional_energy(s);
+        let snap = self.snappix_energy(s);
+        (conv.readout_pj + conv.wireless_pj) / (snap.readout_pj + snap.wireless_pj)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(wireless: Wireless) -> Scenario {
+        Scenario {
+            frame_pixels: 112 * 112,
+            slots: 16,
+            wireless,
+        }
+    }
+
+    #[test]
+    fn paper_constants() {
+        let m = EnergyModel::paper();
+        assert!((m.readout_pj_per_pixel() - 210.32).abs() < 1e-6);
+        assert!((m.exposure_pj_per_pixel() - 9.68).abs() < 1e-6);
+    }
+
+    #[test]
+    fn readout_and_wireless_cut_by_t() {
+        let m = EnergyModel::paper();
+        let s = scenario(Wireless::PassiveWifi);
+        assert!((m.readout_and_wireless_reduction(&s) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_range_saving_matches_paper() {
+        // Paper: 7.6x with passive WiFi.
+        let m = EnergyModel::paper();
+        let saving = m.edge_energy_saving(&scenario(Wireless::PassiveWifi));
+        assert!(
+            (saving - 7.6).abs() < 0.15,
+            "short-range saving {saving} should be ~7.6"
+        );
+    }
+
+    #[test]
+    fn long_range_saving_matches_paper_shape() {
+        // Paper: 15.4x with LoRa backscatter; our model gives ~16x (the
+        // wireless term dominates completely), same order and direction.
+        let m = EnergyModel::paper();
+        let saving = m.edge_energy_saving(&scenario(Wireless::LoraBackscatter));
+        assert!(
+            (14.0..=16.1).contains(&saving),
+            "long-range saving {saving} should be ~15-16"
+        );
+    }
+
+    #[test]
+    fn long_range_beats_short_range() {
+        let m = EnergyModel::paper();
+        let short = m.edge_energy_saving(&scenario(Wireless::PassiveWifi));
+        let long = m.edge_energy_saving(&scenario(Wireless::LoraBackscatter));
+        assert!(long > short, "wireless-dominated regime must save more");
+    }
+
+    #[test]
+    fn saving_grows_with_slots() {
+        let m = EnergyModel::paper();
+        let mut prev = 0.0;
+        for slots in [2usize, 4, 8, 16, 32] {
+            let s = Scenario {
+                frame_pixels: 1024,
+                slots,
+                wireless: Wireless::PassiveWifi,
+            };
+            let saving = m.edge_energy_saving(&s);
+            assert!(saving > prev, "saving must grow with T: {saving} at {slots}");
+            prev = saving;
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let m = EnergyModel::paper();
+        let s = scenario(Wireless::Custom(100.0));
+        let b = m.snappix_energy(&s);
+        let total = b.readout_pj + b.exposure_pj + b.ce_overhead_pj + b.wireless_pj;
+        assert!((b.total_pj() - total).abs() < 1e-9);
+        // Conventional has no CE overhead.
+        assert_eq!(m.conventional_energy(&s).ce_overhead_pj, 0.0);
+    }
+
+    #[test]
+    fn custom_wireless_passthrough() {
+        assert_eq!(Wireless::Custom(5.5).pj_per_pixel(), 5.5);
+        assert_eq!(Wireless::PassiveWifi.pj_per_pixel(), 43.04);
+        assert_eq!(Wireless::LoraBackscatter.pj_per_pixel(), 7.4e6);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_resolution() {
+        let m = EnergyModel::paper();
+        let small = Scenario {
+            frame_pixels: 1000,
+            slots: 16,
+            wireless: Wireless::PassiveWifi,
+        };
+        let big = Scenario {
+            frame_pixels: 2000,
+            ..small
+        };
+        let ratio =
+            m.snappix_energy(&big).total_pj() / m.snappix_energy(&small).total_pj();
+        assert!((ratio - 2.0).abs() < 1e-9);
+        // And the saving factor is resolution-invariant.
+        assert!(
+            (m.edge_energy_saving(&small) - m.edge_energy_saving(&big)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error type for model construction, training and evaluation.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A neural-network layer or optimizer failed.
+    Nn(snappix_nn::NnError),
+    /// An autograd operation failed.
+    Autograd(snappix_autograd::AutogradError),
+    /// A tensor operation failed.
+    Tensor(snappix_tensor::TensorError),
+    /// A coded-exposure component failed.
+    Ce(snappix_ce::CeError),
+    /// The model configuration is inconsistent (patch not dividing the
+    /// image, zero classes, etc.).
+    Config {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Input data did not match the model (wrong resolution or frame
+    /// count).
+    Input {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Nn(e) => write!(f, "nn error: {e}"),
+            ModelError::Autograd(e) => write!(f, "autograd error: {e}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Ce(e) => write!(f, "coded-exposure error: {e}"),
+            ModelError::Config { context } => write!(f, "invalid model configuration: {context}"),
+            ModelError::Input { context } => write!(f, "invalid input: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Nn(e) => Some(e),
+            ModelError::Autograd(e) => Some(e),
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Ce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<snappix_nn::NnError> for ModelError {
+    fn from(e: snappix_nn::NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+impl From<snappix_autograd::AutogradError> for ModelError {
+    fn from(e: snappix_autograd::AutogradError) -> Self {
+        ModelError::Autograd(e)
+    }
+}
+
+impl From<snappix_tensor::TensorError> for ModelError {
+    fn from(e: snappix_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<snappix_ce::CeError> for ModelError {
+    fn from(e: snappix_ce::CeError) -> Self {
+        ModelError::Ce(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: ModelError = snappix_tensor::TensorError::InvalidArgument {
+            context: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = ModelError::Config {
+            context: "bad patch".into(),
+        };
+        assert!(c.to_string().contains("bad patch"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

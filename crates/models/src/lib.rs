@@ -1,0 +1,65 @@
+//! Vision models and training loops for the SnapPix reproduction
+//! (paper Sec. IV and the baselines of Sec. VI).
+//!
+//! Implements, at CPU-trainable scale:
+//!
+//! * the **CE-optimized ViT** ([`VitEncoder`]) whose patch size equals the
+//!   exposure tile, letting patch-wise MLPs absorb within-tile pixel
+//!   non-uniformity while attention shares context across tiles;
+//! * **MAE-style pre-training** ([`MaePretrainer`]): mask most tiles of a
+//!   coded image and reconstruct the *original video* ("coded
+//!   image-to-video" prediction, paper Eqn. 3);
+//! * the **action-recognition** ([`SnapPixAr`]) and **reconstruction**
+//!   ([`SnapPixRec`]) task heads;
+//! * the paper's **baselines**: [`Svc2d`] (shift-variant-conv net with an
+//!   end-to-end learned pattern), [`C3d`] (3-D convnet on raw video),
+//!   [`VideoVit`] (VideoMAEv2-ST-like tubelet transformer) and the
+//!   spatial-downsample-plus-video-model baseline;
+//! * **training loops** with batching, schedules, gradient clipping,
+//!   multi-threaded evaluation, and accuracy/PSNR/throughput measurement.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use snappix_models::{SnapPixAr, VitConfig, TrainOptions, train_action_model,
+//!     evaluate_accuracy};
+//! use snappix_ce::patterns;
+//! use snappix_video::{ssv2_like, Dataset};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = Dataset::new(ssv2_like(16, 32, 32), 100);
+//! let (train, test) = data.split(0.8);
+//! let mask = patterns::long_exposure(16, (8, 8))?;
+//! let mut model = SnapPixAr::new(VitConfig::snappix_s(32, 32, 10), mask)?;
+//! train_action_model(&mut model, &train, &TrainOptions::quick())?;
+//! let acc = evaluate_accuracy(&model, &test)?;
+//! println!("accuracy: {acc:.1}%");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ar;
+mod baselines;
+mod config;
+mod error;
+mod mae;
+mod rec;
+mod train;
+mod vit;
+
+pub use ar::{ActionModel, SnapPixAr};
+pub use baselines::{C3d, DownsampleVideoVit, Svc2d, VideoVit};
+pub use config::VitConfig;
+pub use error::ModelError;
+pub use mae::{MaeConfig, MaePretrainer};
+pub use rec::SnapPixRec;
+pub use train::{
+    evaluate_accuracy, measure_inference_rate, train_action_model, TrainOptions, TrainReport,
+};
+pub use vit::VitEncoder;
+
+/// Convenient result alias used across this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,271 @@
+//! The CE-optimized ViT encoder (paper Sec. IV).
+
+use crate::{Result, VitConfig};
+use rand::Rng;
+use snappix_autograd::Var;
+use snappix_nn::{xavier_uniform, Linear, ParamId, ParamStore, Session, TransformerBlock};
+
+/// Patch-token transformer encoder whose patch size equals the CE tile.
+///
+/// Because the exposure pattern is tile-repetitive, every patch sees the
+/// *same* within-tile exposure layout; the patch embedding and the MLPs
+/// can therefore learn a single correction for the pixel non-uniformity,
+/// while multi-head attention shares scene context across patches — the
+/// co-design argument of Sec. IV.
+#[derive(Debug, Clone)]
+pub struct VitEncoder {
+    config: VitConfig,
+    patch_embed: Linear,
+    pos_embed: ParamId,
+    blocks: Vec<TransformerBlock>,
+}
+
+impl VitEncoder {
+    /// Registers an encoder's weights under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::Config`] for an invalid configuration.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        config: VitConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        config.validate()?;
+        let p = config.patch_pixels();
+        let n = config.num_tokens();
+        let patch_embed = Linear::new(store, &format!("{name}.patch_embed"), p, config.dim, rng);
+        let pos_embed = store.register(
+            format!("{name}.pos_embed"),
+            xavier_uniform(rng, &[n, config.dim], n, config.dim).scale(0.1),
+        );
+        let mut blocks = Vec::with_capacity(config.depth);
+        for d in 0..config.depth {
+            blocks.push(TransformerBlock::new(
+                store,
+                &format!("{name}.block{d}"),
+                config.dim,
+                config.heads,
+                config.dim * config.mlp_ratio,
+                rng,
+            )?);
+        }
+        Ok(VitEncoder {
+            config,
+            patch_embed,
+            pos_embed,
+            blocks,
+        })
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &VitConfig {
+        &self.config
+    }
+
+    /// Encodes full patch sequences: `[batch, n, p]` pixels to
+    /// `[batch, n, dim]` token features.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the patch count or width disagrees with the
+    /// configuration.
+    pub fn forward_patches(&self, sess: &mut Session<'_>, patches: Var) -> Result<Var> {
+        let tokens = self.patch_embed.forward(sess, patches)?;
+        let pos = sess.param(self.pos_embed);
+        let mut x = sess.graph.add(tokens, pos)?;
+        for block in &self.blocks {
+            x = block.forward(sess, x)?;
+        }
+        Ok(x)
+    }
+
+    /// Encodes only the `visible` patch positions (MAE pre-training,
+    /// Sec. IV): gathers those patches and their positional embeddings,
+    /// then runs the blocks on the shortened sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range indices or mismatched patch shapes.
+    pub fn forward_visible(
+        &self,
+        sess: &mut Session<'_>,
+        patches: Var,
+        visible: &[usize],
+    ) -> Result<Var> {
+        let picked = gather_axis1(sess, patches, visible)?;
+        let tokens = self.patch_embed.forward(sess, picked)?;
+        let pos = sess.param(self.pos_embed);
+        let pos_picked = sess.graph.gather_rows(pos, visible)?;
+        let mut x = sess.graph.add(tokens, pos_picked)?;
+        for block in &self.blocks {
+            x = block.forward(sess, x)?;
+        }
+        Ok(x)
+    }
+
+    /// Mean-pools token features `[batch, n, dim]` into clip features
+    /// `[batch, dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-rank-3 input.
+    pub fn pool(&self, sess: &mut Session<'_>, tokens: Var) -> Result<Var> {
+        Ok(sess.graph.mean_axis(tokens, 1, false)?)
+    }
+}
+
+/// Gathers `indices` along axis 1 of a `[batch, n, d]` variable (the same
+/// indices for every batch element), returning
+/// `[batch, indices.len(), d]`.
+///
+/// Implemented as permute -> flatten -> row gather -> unflatten so it
+/// rides on the existing differentiable ops.
+///
+/// # Errors
+///
+/// Fails for non-rank-3 input or out-of-range indices.
+pub fn gather_axis1(sess: &mut Session<'_>, x: Var, indices: &[usize]) -> Result<Var> {
+    let shape = sess.graph.value(x).shape().to_vec();
+    if shape.len() != 3 {
+        return Err(crate::ModelError::Input {
+            context: format!("gather_axis1 expects rank 3, got {shape:?}"),
+        });
+    }
+    let (b, n, d) = (shape[0], shape[1], shape[2]);
+    let perm = sess.graph.permute(x, &[1, 0, 2])?; // [n, b, d]
+    let flat = sess.graph.reshape(perm, &[n, b * d])?;
+    let picked = sess.graph.gather_rows(flat, indices)?; // [v, b*d]
+    let unflat = sess.graph.reshape(picked, &[indices.len(), b, d])?;
+    Ok(sess.graph.permute(unflat, &[1, 0, 2])?)
+}
+
+/// Splits token positions `0..n` into `(visible, masked)` with
+/// `mask_ratio` of positions masked, shuffled by `rng`. Both lists are
+/// sorted; at least one token stays visible and, when `mask_ratio > 0.0`
+/// and `n > 1`, at least one is masked.
+pub fn random_token_split<R: Rng + ?Sized>(
+    n: usize,
+    mask_ratio: f32,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut masked_count = ((n as f32) * mask_ratio).round() as usize;
+    if masked_count >= n {
+        masked_count = n - 1;
+    }
+    if mask_ratio > 0.0 && n > 1 && masked_count == 0 {
+        masked_count = 1;
+    }
+    let mut masked: Vec<usize> = order[..masked_count].to_vec();
+    let mut visible: Vec<usize> = order[masked_count..].to_vec();
+    masked.sort_unstable();
+    visible.sort_unstable();
+    (visible, masked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use snappix_tensor::Tensor;
+
+    fn encoder() -> (ParamStore, VitEncoder) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let enc = VitEncoder::new(
+            &mut store,
+            "enc",
+            VitConfig::snappix_s(16, 16, 10),
+            &mut rng,
+        )
+        .unwrap();
+        (store, enc)
+    }
+
+    #[test]
+    fn forward_patches_shapes() {
+        let (store, enc) = encoder();
+        // 16x16 image, 8px patch -> 4 tokens of 64 pixels.
+        let mut sess = Session::inference(&store);
+        let patches = sess.input(Tensor::zeros(&[2, 4, 64]));
+        let tokens = enc.forward_patches(&mut sess, patches).unwrap();
+        assert_eq!(sess.graph.value(tokens).shape(), &[2, 4, 32]);
+        let pooled = enc.pool(&mut sess, tokens).unwrap();
+        assert_eq!(sess.graph.value(pooled).shape(), &[2, 32]);
+    }
+
+    #[test]
+    fn forward_visible_shortens_sequence() {
+        let (store, enc) = encoder();
+        let mut sess = Session::inference(&store);
+        let patches = sess.input(Tensor::zeros(&[2, 4, 64]));
+        let tokens = enc.forward_visible(&mut sess, patches, &[0, 3]).unwrap();
+        assert_eq!(sess.graph.value(tokens).shape(), &[2, 2, 32]);
+    }
+
+    #[test]
+    fn position_embedding_breaks_permutation_symmetry() {
+        let (store, enc) = encoder();
+        let mut rng = StdRng::seed_from_u64(5);
+        let tile = Tensor::rand_uniform(&mut rng, &[1, 1, 64], -1.0, 1.0);
+        let zeros = Tensor::zeros(&[1, 1, 64]);
+        // Same patch content at position 0 vs position 3.
+        let at0 = Tensor::concat(&[&tile, &zeros, &zeros, &zeros], 1).unwrap();
+        let at3 = Tensor::concat(&[&zeros, &zeros, &zeros, &tile], 1).unwrap();
+        let run = |input: Tensor| {
+            let mut sess = Session::inference(&store);
+            let p = sess.input(input);
+            let t = enc.forward_patches(&mut sess, p).unwrap();
+            let pooled = enc.pool(&mut sess, t).unwrap();
+            sess.graph.value(pooled).clone()
+        };
+        assert!(!run(at0).approx_eq(&run(at3), 1e-4));
+    }
+
+    #[test]
+    fn gather_axis1_selects_rows() {
+        let store = ParamStore::new();
+        let mut sess = Session::inference(&store);
+        let x = sess.input(Tensor::arange(12).reshape(&[2, 3, 2]).unwrap());
+        let g = gather_axis1(&mut sess, x, &[2, 0]).unwrap();
+        let v = sess.graph.value(g);
+        assert_eq!(v.shape(), &[2, 2, 2]);
+        // batch 0: rows [4,5] then [0,1]; batch 1: [10,11] then [6,7].
+        assert_eq!(v.as_slice(), &[4.0, 5.0, 0.0, 1.0, 10.0, 11.0, 6.0, 7.0]);
+        let bad = sess.input(Tensor::zeros(&[2, 2]));
+        assert!(gather_axis1(&mut sess, bad, &[0]).is_err());
+    }
+
+    #[test]
+    fn random_token_split_partitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (vis, masked) = random_token_split(16, 0.85, &mut rng);
+        assert_eq!(vis.len() + masked.len(), 16);
+        assert!(!vis.is_empty());
+        assert!((2..=4).contains(&vis.len()), "85% of 16 masked -> ~2-3 visible");
+        let mut all: Vec<usize> = vis.iter().chain(masked.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_token_split_edge_ratios() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (vis, masked) = random_token_split(4, 0.0, &mut rng);
+        assert_eq!(vis.len(), 4);
+        assert!(masked.is_empty());
+        let (vis, masked) = random_token_split(4, 1.0, &mut rng);
+        assert_eq!(vis.len(), 1, "at least one token stays visible");
+        assert_eq!(masked.len(), 3);
+        let (vis, masked) = random_token_split(16, 0.01, &mut rng);
+        assert!(!masked.is_empty(), "a positive ratio masks at least one");
+        assert_eq!(vis.len() + masked.len(), 16);
+    }
+}

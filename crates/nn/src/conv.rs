@@ -1,0 +1,557 @@
+//! 2-D and 3-D convolutions (direct loops, exact gradients).
+//!
+//! These exist to support the paper's baselines: C3D needs 3-D
+//! convolutions over `[batch, channel, time, h, w]` video volumes, and the
+//! SVC2D baseline composes the shift-variant layer in [`crate::svc`] with
+//! ordinary 2-D convolutions.
+
+use crate::{kaiming_uniform, NnError, ParamId, ParamStore, Result, Session};
+use rand::Rng;
+use snappix_autograd::Var;
+use snappix_tensor::Tensor;
+
+/// 2-D convolution over `[batch, in_ch, h, w]` inputs.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: ParamId,
+    bias: ParamId,
+    in_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Registers a square-kernel convolution under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] for zero-sized kernel/stride/channels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_ch == 0 || out_ch == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::Config {
+                context: format!(
+                    "conv2d {name}: in {in_ch}, out {out_ch}, kernel {kernel}, stride {stride}"
+                ),
+            });
+        }
+        let fan_in = in_ch * kernel * kernel;
+        let weight = store.register(
+            format!("{name}.weight"),
+            kaiming_uniform(rng, &[out_ch, in_ch, kernel, kernel], fan_in),
+        );
+        let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_ch]));
+        Ok(Conv2d {
+            weight,
+            bias,
+            in_ch,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output spatial extent for an input extent `n`.
+    pub fn out_extent(&self, n: usize) -> usize {
+        (n + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Applies the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Fails for inputs that are not `[batch, in_ch, h, w]` or too small
+    /// for the kernel.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Result<Var> {
+        let xs = sess.graph.value(x).shape().to_vec();
+        if xs.len() != 4 || xs[1] != self.in_ch {
+            return Err(NnError::Config {
+                context: format!("conv2d expects [b, {}, h, w], got {xs:?}", self.in_ch),
+            });
+        }
+        let (h, w) = (xs[2], xs[3]);
+        if h + 2 * self.padding < self.kernel || w + 2 * self.padding < self.kernel {
+            return Err(NnError::Config {
+                context: format!("input {h}x{w} smaller than kernel {}", self.kernel),
+            });
+        }
+        let wv = sess.param(self.weight);
+        let bv = sess.param(self.bias);
+        let value = conv2d_forward(
+            sess.graph.value(x),
+            sess.graph.value(wv),
+            sess.graph.value(bv),
+            self.stride,
+            self.padding,
+        );
+        let (stride, padding) = (self.stride, self.padding);
+        Ok(sess.graph.custom_op(value, vec![x, wv, bv], move |g, parents| {
+            conv2d_backward(g, parents[0], parents[1], stride, padding)
+        })?)
+    }
+}
+
+fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (batch, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (wid + 2 * pad - kw) / stride + 1;
+    let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
+    let (xs, ws, bs) = (x.as_slice(), w.as_slice(), b.as_slice());
+    let os = out.as_mut_slice();
+    for bi in 0..batch {
+        for f in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bs[f];
+                    for c in 0..cin {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= wid {
+                                    continue;
+                                }
+                                acc += xs[((bi * cin + c) * h + iy as usize) * wid + ix as usize]
+                                    * ws[((f * cin + c) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                    os[((bi * cout + f) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn conv2d_backward(g: &Tensor, x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Vec<Tensor> {
+    let (batch, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let (oh, ow) = (g.shape()[2], g.shape()[3]);
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(w.shape());
+    let mut db = Tensor::zeros(&[cout]);
+    let (gs, xs, ws) = (g.as_slice(), x.as_slice(), w.as_slice());
+    {
+        let dxs = dx.as_mut_slice();
+        let dws = dw.as_mut_slice();
+        let dbs = db.as_mut_slice();
+        for bi in 0..batch {
+            for f in 0..cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = gs[((bi * cout + f) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        dbs[f] += go;
+                        for c in 0..cin {
+                            for ky in 0..kh {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix as usize >= wid {
+                                        continue;
+                                    }
+                                    let xi =
+                                        ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
+                                    let wi = ((f * cin + c) * kh + ky) * kw + kx;
+                                    dxs[xi] += go * ws[wi];
+                                    dws[wi] += go * xs[xi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    vec![dx, dw, db]
+}
+
+/// 3-D convolution over `[batch, in_ch, t, h, w]` video volumes, as used by
+/// the C3D baseline (Tran et al., reproduced at small scale).
+#[derive(Debug, Clone)]
+pub struct Conv3d {
+    weight: ParamId,
+    bias: ParamId,
+    in_ch: usize,
+    kernel: (usize, usize, usize),
+    stride: (usize, usize, usize),
+    padding: (usize, usize, usize),
+}
+
+impl Conv3d {
+    /// Registers a 3-D convolution under `name` with `(t, h, w)` kernel,
+    /// stride and padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] for zero-sized kernel/stride/channels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: (usize, usize, usize),
+        stride: (usize, usize, usize),
+        padding: (usize, usize, usize),
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_ch == 0
+            || out_ch == 0
+            || kernel.0 == 0
+            || kernel.1 == 0
+            || kernel.2 == 0
+            || stride.0 == 0
+            || stride.1 == 0
+            || stride.2 == 0
+        {
+            return Err(NnError::Config {
+                context: format!("conv3d {name}: degenerate kernel/stride/channels"),
+            });
+        }
+        let fan_in = in_ch * kernel.0 * kernel.1 * kernel.2;
+        let weight = store.register(
+            format!("{name}.weight"),
+            kaiming_uniform(
+                rng,
+                &[out_ch, in_ch, kernel.0, kernel.1, kernel.2],
+                fan_in,
+            ),
+        );
+        let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_ch]));
+        Ok(Conv3d {
+            weight,
+            bias,
+            in_ch,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Applies the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Fails for inputs that are not `[batch, in_ch, t, h, w]` or smaller
+    /// than the kernel after padding.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Result<Var> {
+        let xs = sess.graph.value(x).shape().to_vec();
+        if xs.len() != 5 || xs[1] != self.in_ch {
+            return Err(NnError::Config {
+                context: format!("conv3d expects [b, {}, t, h, w], got {xs:?}", self.in_ch),
+            });
+        }
+        let dims = [xs[2], xs[3], xs[4]];
+        let k = [self.kernel.0, self.kernel.1, self.kernel.2];
+        let p = [self.padding.0, self.padding.1, self.padding.2];
+        for i in 0..3 {
+            if dims[i] + 2 * p[i] < k[i] {
+                return Err(NnError::Config {
+                    context: format!("input {dims:?} smaller than kernel {k:?}"),
+                });
+            }
+        }
+        let wv = sess.param(self.weight);
+        let bv = sess.param(self.bias);
+        let value = conv3d_forward(
+            sess.graph.value(x),
+            sess.graph.value(wv),
+            sess.graph.value(bv),
+            self.stride,
+            self.padding,
+        );
+        let (stride, padding) = (self.stride, self.padding);
+        Ok(sess.graph.custom_op(value, vec![x, wv, bv], move |g, parents| {
+            conv3d_backward(g, parents[0], parents[1], stride, padding)
+        })?)
+    }
+}
+
+fn conv3d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    stride: (usize, usize, usize),
+    pad: (usize, usize, usize),
+) -> Tensor {
+    let s = x.shape();
+    let (batch, cin, t, h, wid) = (s[0], s[1], s[2], s[3], s[4]);
+    let ws_shape = w.shape();
+    let (cout, kt, kh, kw) = (ws_shape[0], ws_shape[2], ws_shape[3], ws_shape[4]);
+    let ot = (t + 2 * pad.0 - kt) / stride.0 + 1;
+    let oh = (h + 2 * pad.1 - kh) / stride.1 + 1;
+    let ow = (wid + 2 * pad.2 - kw) / stride.2 + 1;
+    let mut out = Tensor::zeros(&[batch, cout, ot, oh, ow]);
+    let (xs, ws, bs) = (x.as_slice(), w.as_slice(), b.as_slice());
+    let os = out.as_mut_slice();
+    for bi in 0..batch {
+        for f in 0..cout {
+            for oz in 0..ot {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bs[f];
+                        for c in 0..cin {
+                            for kz in 0..kt {
+                                let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                                if iz < 0 || iz as usize >= t {
+                                    continue;
+                                }
+                                for ky in 0..kh {
+                                    let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                    if iy < 0 || iy as usize >= h {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                        if ix < 0 || ix as usize >= wid {
+                                            continue;
+                                        }
+                                        let xi = (((bi * cin + c) * t + iz as usize) * h
+                                            + iy as usize)
+                                            * wid
+                                            + ix as usize;
+                                        let wi = (((f * cin + c) * kt + kz) * kh + ky) * kw + kx;
+                                        acc += xs[xi] * ws[wi];
+                                    }
+                                }
+                            }
+                        }
+                        os[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn conv3d_backward(
+    g: &Tensor,
+    x: &Tensor,
+    w: &Tensor,
+    stride: (usize, usize, usize),
+    pad: (usize, usize, usize),
+) -> Vec<Tensor> {
+    let s = x.shape();
+    let (batch, cin, t, h, wid) = (s[0], s[1], s[2], s[3], s[4]);
+    let ws_shape = w.shape();
+    let (cout, kt, kh, kw) = (ws_shape[0], ws_shape[2], ws_shape[3], ws_shape[4]);
+    let (ot, oh, ow) = (g.shape()[2], g.shape()[3], g.shape()[4]);
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(w.shape());
+    let mut db = Tensor::zeros(&[cout]);
+    let (gs, xs, ws) = (g.as_slice(), x.as_slice(), w.as_slice());
+    {
+        let dxs = dx.as_mut_slice();
+        let dws = dw.as_mut_slice();
+        let dbs = db.as_mut_slice();
+        for bi in 0..batch {
+            for f in 0..cout {
+                for oz in 0..ot {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = gs[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            dbs[f] += go;
+                            for c in 0..cin {
+                                for kz in 0..kt {
+                                    let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                                    if iz < 0 || iz as usize >= t {
+                                        continue;
+                                    }
+                                    for ky in 0..kh {
+                                        let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                        if iy < 0 || iy as usize >= h {
+                                            continue;
+                                        }
+                                        for kx in 0..kw {
+                                            let ix =
+                                                (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                            if ix < 0 || ix as usize >= wid {
+                                                continue;
+                                            }
+                                            let xi = (((bi * cin + c) * t + iz as usize) * h
+                                                + iy as usize)
+                                                * wid
+                                                + ix as usize;
+                                            let wi = (((f * cin + c) * kt + kz) * kh + ky) * kw
+                                                + kx;
+                                            dxs[xi] += go * ws[wi];
+                                            dws[wi] += go * xs[xi];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    vec![dx, dw, db]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use snappix_autograd::check_gradients;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 and zero bias reproduces the input.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let conv = Conv2d::new(&mut store, "c", 1, 1, 1, 1, 0, &mut rng).unwrap();
+        let ids = store.ids();
+        *store.value_mut(ids[0]) = Tensor::ones(&[1, 1, 1, 1]);
+        let x = Tensor::rand_uniform(&mut rng, &[1, 1, 3, 3], -1.0, 1.0);
+        let mut sess = Session::inference(&store);
+        let xv = sess.input(x.clone());
+        let y = conv.forward(&mut sess, xv).unwrap();
+        assert!(sess.graph.value(y).approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn conv2d_shapes_with_stride_and_padding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let conv = Conv2d::new(&mut store, "c", 2, 3, 3, 2, 1, &mut rng).unwrap();
+        assert_eq!(conv.out_extent(8), 4);
+        let mut sess = Session::inference(&store);
+        let x = sess.input(Tensor::zeros(&[2, 2, 8, 8]));
+        let y = conv.forward(&mut sess, x).unwrap();
+        assert_eq!(sess.graph.value(y).shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_validation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        assert!(Conv2d::new(&mut store, "c", 0, 1, 3, 1, 0, &mut rng).is_err());
+        assert!(Conv2d::new(&mut store, "c", 1, 1, 0, 1, 0, &mut rng).is_err());
+        let conv = Conv2d::new(&mut store, "c", 1, 1, 3, 1, 0, &mut rng).unwrap();
+        let mut sess = Session::inference(&store);
+        let bad_ch = sess.input(Tensor::zeros(&[1, 2, 8, 8]));
+        assert!(conv.forward(&mut sess, bad_ch).is_err());
+        let too_small = sess.input(Tensor::zeros(&[1, 1, 2, 2]));
+        assert!(conv.forward(&mut sess, too_small).is_err());
+    }
+
+    #[test]
+    fn conv2d_gradients_numeric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&mut rng, &[1, 2, 4, 4], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[2, 2, 3, 3], -0.5, 0.5);
+        let b = Tensor::rand_uniform(&mut rng, &[2], -0.5, 0.5);
+        check_gradients(&[x, w, b], |g, vars| {
+            let value = conv2d_forward(g.value(vars[0]), g.value(vars[1]), g.value(vars[2]), 1, 1);
+            let y = g.custom_op(value, vec![vars[0], vars[1], vars[2]], |up, parents| {
+                conv2d_backward(up, parents[0], parents[1], 1, 1)
+            })?;
+            let q = g.mul(y, y)?;
+            g.sum(q)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn conv3d_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let conv = Conv3d::new(
+            &mut store,
+            "c3",
+            1,
+            4,
+            (3, 3, 3),
+            (1, 1, 1),
+            (1, 1, 1),
+            &mut rng,
+        )
+        .unwrap();
+        let mut sess = Session::inference(&store);
+        let x = sess.input(Tensor::zeros(&[1, 1, 8, 8, 8]));
+        let y = conv.forward(&mut sess, x).unwrap();
+        assert_eq!(sess.graph.value(y).shape(), &[1, 4, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv3d_gradients_numeric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform(&mut rng, &[1, 1, 3, 4, 4], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[2, 1, 2, 2, 2], -0.5, 0.5);
+        let b = Tensor::rand_uniform(&mut rng, &[2], -0.5, 0.5);
+        check_gradients(&[x, w, b], |g, vars| {
+            let value = conv3d_forward(
+                g.value(vars[0]),
+                g.value(vars[1]),
+                g.value(vars[2]),
+                (1, 1, 1),
+                (0, 0, 0),
+            );
+            let y = g.custom_op(value, vec![vars[0], vars[1], vars[2]], |up, parents| {
+                conv3d_backward(up, parents[0], parents[1], (1, 1, 1), (0, 0, 0))
+            })?;
+            let q = g.mul(y, y)?;
+            g.sum(q)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn conv3d_validation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        assert!(Conv3d::new(
+            &mut store,
+            "c",
+            1,
+            1,
+            (0, 3, 3),
+            (1, 1, 1),
+            (0, 0, 0),
+            &mut rng
+        )
+        .is_err());
+        let conv = Conv3d::new(
+            &mut store,
+            "c",
+            2,
+            1,
+            (3, 3, 3),
+            (1, 1, 1),
+            (0, 0, 0),
+            &mut rng,
+        )
+        .unwrap();
+        let mut sess = Session::inference(&store);
+        let bad = sess.input(Tensor::zeros(&[1, 1, 8, 8, 8]));
+        assert!(conv.forward(&mut sess, bad).is_err());
+        let small = sess.input(Tensor::zeros(&[1, 2, 2, 8, 8]));
+        assert!(conv.forward(&mut sess, small).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+use snappix_autograd::AutogradError;
+use snappix_tensor::TensorError;
+use std::fmt;
+
+/// Error type for neural-network construction, training and persistence.
+#[derive(Debug)]
+pub enum NnError {
+    /// An autograd operation failed.
+    Autograd(AutogradError),
+    /// A raw tensor operation failed.
+    Tensor(TensorError),
+    /// A parameter id was used with the wrong store, or a gradient was
+    /// missing for a parameter being optimized.
+    Parameter {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Layer configuration is invalid (e.g. embedding dim not divisible by
+    /// the number of heads).
+    Config {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Weight (de)serialization failed.
+    Io(std::io::Error),
+    /// A weight file was malformed or did not match the store layout.
+    Format {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Autograd(e) => write!(f, "autograd error: {e}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Parameter { context } => write!(f, "parameter error: {context}"),
+            NnError::Config { context } => write!(f, "invalid configuration: {context}"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Format { context } => write!(f, "weight format error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Autograd(e) => Some(e),
+            NnError::Tensor(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutogradError> for NnError {
+    fn from(e: AutogradError) -> Self {
+        NnError::Autograd(e)
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NnError = TensorError::InvalidArgument { context: "x".into() }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: NnError = AutogradError::NotScalar { shape: vec![2] }.into();
+        assert!(e.to_string().contains("autograd"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NnError::Config { context: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+}

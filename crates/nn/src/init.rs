@@ -1,0 +1,60 @@
+//! Weight initializers.
+
+use rand::Rng;
+use snappix_tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// Used for the linear projections of the ViT models so activations keep a
+/// stable scale through depth.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(rng, shape, -limit, limit)
+}
+
+/// Kaiming/He uniform initialization: samples from
+/// `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`.
+///
+/// Used for the convolutional baselines (C3D, SVC2D) whose ReLU
+/// nonlinearities halve the activation variance.
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(rng, shape, -limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&mut rng, &[100, 50], 100, 50);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Not degenerate.
+        assert!(t.variance() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_within_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kaiming_uniform(&mut rng, &[64, 32], 32);
+        let limit = (6.0f32 / 32.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn kaiming_zero_fan_in_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kaiming_uniform(&mut rng, &[4], 0);
+        assert!(t.as_slice().iter().all(|&x| x.is_finite()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Transformer feed-forward block.
+
+use crate::{Linear, ParamStore, Result, Session};
+use rand::Rng;
+use snappix_autograd::Var;
+
+/// Two-layer perceptron with GELU, the feed-forward half of a transformer
+/// block.
+///
+/// In the CE-optimized ViT (paper Sec. IV) these MLPs are what learns to
+/// undo the *within-tile* pixel non-uniformity introduced by the
+/// tile-repetitive coded-exposure pattern, because every patch sees the
+/// same exposure layout.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// Registers a `dim -> hidden -> dim` MLP under `name`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        Mlp {
+            fc1: Linear::new(store, &format!("{name}.fc1"), dim, hidden, rng),
+            fc2: Linear::new(store, &format!("{name}.fc2"), hidden, dim, rng),
+        }
+    }
+
+    /// Applies `fc2(gelu(fc1(x)))`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the trailing input dimension does not match the
+    /// construction-time `dim`.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Result<Var> {
+        let h = self.fc1.forward(sess, x)?;
+        let h = sess.graph.gelu(h)?;
+        self.fc2.forward(sess, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use snappix_tensor::Tensor;
+
+    #[test]
+    fn preserves_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "mlp", 8, 32, &mut rng);
+        let mut sess = Session::inference(&store);
+        let x = sess.input(Tensor::zeros(&[2, 5, 8]));
+        let y = mlp.forward(&mut sess, x).unwrap();
+        assert_eq!(sess.graph.value(y).shape(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn registers_four_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _mlp = Mlp::new(&mut store, "mlp", 4, 8, &mut rng);
+        assert_eq!(store.len(), 4); // two weights + two biases
+        assert!(store.iter().any(|(_, n, _)| n == "mlp.fc1.weight"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Parameter storage and per-step training sessions.
+
+use crate::{NnError, Result};
+use snappix_autograd::{Graph, Var};
+use snappix_tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns the learnable tensors of one or more models.
+///
+/// Layers register parameters at construction time and keep only the
+/// returned [`ParamId`]s; a [`Session`] binds those ids into an autograd
+/// graph for each training step, and an [`Optimizer`](crate::Optimizer)
+/// mutates the stored values between steps.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_nn::ParamStore;
+/// use snappix_tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.register("w", Tensor::zeros(&[2, 2]));
+/// assert_eq!(store.value(id).shape(), &[2, 2]);
+/// assert_eq!(store.name(id), "w");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named parameter, returning its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// All parameter ids in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.values.len()).map(ParamId).collect()
+    }
+}
+
+/// Per-parameter gradients produced by [`Session::backward`].
+#[derive(Debug, Clone, Default)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient for `id`, if that parameter participated in the loss.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Global L2 norm across all gradients (useful for clipping and
+    /// debugging training stability).
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.as_slice().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient so the global norm is at most `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.grads.iter_mut().flatten() {
+                *g = g.scale(s);
+            }
+        }
+    }
+}
+
+/// One training (or inference) step: a fresh autograd graph plus the
+/// parameter bindings made while building it.
+///
+/// The public `graph` field is deliberate — model code freely mixes layer
+/// calls with raw graph ops (residual adds, reshapes, losses).
+pub struct Session<'s> {
+    /// The underlying autograd tape for this step.
+    pub graph: Graph,
+    store: &'s ParamStore,
+    bindings: Vec<Option<Var>>,
+    /// When `false`, parameters are leafed without gradient tracking
+    /// (inference mode) and dropout layers should be skipped by callers.
+    pub train: bool,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("graph", &self.graph)
+            .field("train", &self.train)
+            .finish()
+    }
+}
+
+impl<'s> Session<'s> {
+    /// Opens a training session against `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Session {
+            graph: Graph::new(),
+            store,
+            bindings: vec![None; store.len()],
+            train: true,
+        }
+    }
+
+    /// Opens an inference session: parameters do not require gradients.
+    pub fn inference(store: &'s ParamStore) -> Self {
+        let mut s = Self::new(store);
+        s.train = false;
+        s
+    }
+
+    /// Binds parameter `id` into the graph (cached per session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different store.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bindings[id.0] {
+            return v;
+        }
+        let v = self
+            .graph
+            .leaf(self.store.value(id).clone(), self.train);
+        self.bindings[id.0] = Some(v);
+        v
+    }
+
+    /// Adds a non-learnable input tensor to the graph.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.graph.leaf(t, false)
+    }
+
+    /// Backpropagates from scalar `loss` and collects per-parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `loss` is not a scalar of this session's graph.
+    pub fn backward(&mut self, loss: Var) -> Result<Gradients> {
+        self.graph.backward(loss).map_err(NnError::from)?;
+        let grads = self
+            .bindings
+            .iter()
+            .map(|b| b.and_then(|v| self.graph.grad(v).cloned()))
+            .collect();
+        Ok(Gradients { grads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::zeros(&[2]));
+        let b = store.register("b", Tensor::ones(&[3]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 5);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.value(b).as_slice(), &[1.0; 3]);
+        assert_eq!(store.ids().len(), 2);
+        assert_eq!(store.iter().count(), 2);
+    }
+
+    #[test]
+    fn session_binds_params_once() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(2.0));
+        let mut sess = Session::new(&store);
+        let v1 = sess.param(id);
+        let v2 = sess.param(id);
+        assert_eq!(v1, v2);
+        assert_eq!(sess.graph.len(), 1);
+    }
+
+    #[test]
+    fn backward_collects_param_grads() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let mut sess = Session::new(&store);
+        let w = sess.param(id);
+        let sq = sess.graph.mul(w, w).unwrap();
+        let loss = sess.graph.sum(sq).unwrap();
+        let grads = sess.backward(loss).unwrap();
+        assert_eq!(grads.get(id).unwrap().as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn inference_session_produces_no_grads() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(3.0));
+        let mut sess = Session::inference(&store);
+        let w = sess.param(id);
+        let loss = sess.graph.mul(w, w).unwrap();
+        let grads = sess.backward(loss).unwrap();
+        assert!(grads.get(id).is_none());
+        assert!(!sess.train);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_norm() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let mut sess = Session::new(&store);
+        let w = sess.param(id);
+        let sq = sess.graph.mul(w, w).unwrap();
+        let loss = sess.graph.sum(sq).unwrap();
+        let mut grads = sess.backward(loss).unwrap();
+        // grad = [6, 8], norm 10.
+        assert!((grads.global_norm() - 10.0).abs() < 1e-5);
+        grads.clip_global_norm(5.0);
+        assert!((grads.global_norm() - 5.0).abs() < 1e-4);
+        assert_eq!(grads.get(id).unwrap().as_slice(), &[3.0, 4.0]);
+        // Clipping below the threshold is a no-op.
+        grads.clip_global_norm(100.0);
+        assert!((grads.global_norm() - 5.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Learning-rate schedules.
+
+/// Learning-rate schedule evaluated per step.
+///
+/// The paper tunes learning rates per model and uses warmup + decay typical
+/// of ViT training recipes; [`LrSchedule::WarmupCosine`] mirrors that.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_nn::LrSchedule;
+///
+/// let sched = LrSchedule::WarmupCosine {
+///     base: 1e-3,
+///     warmup_steps: 10,
+///     total_steps: 100,
+/// };
+/// assert!(sched.at(0) < sched.at(10));         // warming up
+/// assert!(sched.at(99) < sched.at(10));        // decayed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// A constant rate.
+    Constant {
+        /// The rate.
+        base: f32,
+    },
+    /// Linear warmup followed by cosine decay to zero.
+    WarmupCosine {
+        /// Peak rate reached at the end of warmup.
+        base: f32,
+        /// Steps of linear warmup.
+        warmup_steps: usize,
+        /// Total steps (decay finishes here).
+        total_steps: usize,
+    },
+    /// Multiplies the rate by `gamma` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Multiplier applied at each boundary.
+        gamma: f32,
+        /// Boundary interval in steps.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at training step `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { base } => base,
+            LrSchedule::WarmupCosine {
+                base,
+                warmup_steps,
+                total_steps,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    base * (step + 1) as f32 / warmup_steps as f32
+                } else {
+                    let span = total_steps.saturating_sub(warmup_steps).max(1) as f32;
+                    let progress =
+                        ((step.saturating_sub(warmup_steps)) as f32 / span).clamp(0.0, 1.0);
+                    base * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+            LrSchedule::StepDecay { base, gamma, every } => {
+                base * gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { base: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_cosine_ramps_then_decays() {
+        let s = LrSchedule::WarmupCosine {
+            base: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Midway through decay: cos(pi/2) -> 0.5 * base.
+        assert!((s.at(60) - 0.5).abs() < 0.02);
+        assert!(s.at(109) < 0.01);
+        // Past the end it stays at ~0, not negative.
+        assert!(s.at(1000) >= 0.0);
+    }
+
+    #[test]
+    fn warmup_cosine_without_warmup() {
+        let s = LrSchedule::WarmupCosine {
+            base: 1.0,
+            warmup_steps: 0,
+            total_steps: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            gamma: 0.1,
+            every: 10,
+        };
+        assert_eq!(s.at(9), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-6);
+        assert!((s.at(25) - 0.01).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Weight persistence in a small self-describing binary format.
+//!
+//! Layout: magic `b"SNPX"`, format version `u32`, parameter count `u32`,
+//! then per parameter: name length `u32` + UTF-8 name, rank `u32` +
+//! little-endian `u64` extents, and the `f32` data. No external
+//! serialization crate is needed.
+
+use crate::{NnError, ParamStore, Result};
+use snappix_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SNPX";
+const VERSION: u32 = 1;
+
+/// Saves every parameter of `store` to `path`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failures.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(MAGIC)?;
+    file.write_all(&VERSION.to_le_bytes())?;
+    file.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        let name_bytes = name.as_bytes();
+        file.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        file.write_all(name_bytes)?;
+        file.write_all(&(value.rank() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            file.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in value.as_slice() {
+            file.write_all(&x.to_le_bytes())?;
+        }
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// Loads parameters from `path` into `store`, matching by name.
+///
+/// Every parameter in the file must exist in the store with an identical
+/// shape; parameters in the store that are absent from the file keep their
+/// current values (this is how a pre-trained encoder is loaded underneath a
+/// fresh task head).
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failures and [`NnError::Format`]
+/// for malformed files, unknown names, or shape mismatches.
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NnError::Format {
+            context: "bad magic (not a SnapPix weight file)".to_string(),
+        });
+    }
+    let version = read_u32(&mut file)?;
+    if version != VERSION {
+        return Err(NnError::Format {
+            context: format!("unsupported version {version}"),
+        });
+    }
+    let count = read_u32(&mut file)? as usize;
+    let by_name: std::collections::HashMap<String, crate::ParamId> = store
+        .iter()
+        .map(|(id, name, _)| (name.to_string(), id))
+        .collect();
+    for _ in 0..count {
+        let name_len = read_u32(&mut file)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        file.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| NnError::Format {
+            context: "parameter name is not UTF-8".to_string(),
+        })?;
+        let rank = read_u32(&mut file)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut buf = [0u8; 8];
+            file.read_exact(&mut buf)?;
+            shape.push(u64::from_le_bytes(buf) as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            file.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        let id = *by_name.get(&name).ok_or_else(|| NnError::Format {
+            context: format!("file contains unknown parameter {name}"),
+        })?;
+        if store.value(id).shape() != shape.as_slice() {
+            return Err(NnError::Format {
+                context: format!(
+                    "shape mismatch for {name}: file {shape:?} vs store {:?}",
+                    store.value(id).shape()
+                ),
+            });
+        }
+        *store.value_mut(id) = Tensor::from_vec(data, &shape)?;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("snappix_nn_test_{}_{name}.snpx", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let mut store = ParamStore::new();
+        store.register("a.weight", Tensor::arange(6).reshape(&[2, 3]).unwrap());
+        store.register("a.bias", Tensor::full(&[3], -1.5));
+        let path = temp_path("round_trip");
+        save_params(&store, &path).unwrap();
+
+        let mut restored = ParamStore::new();
+        let a = restored.register("a.weight", Tensor::zeros(&[2, 3]));
+        let b = restored.register("a.bias", Tensor::zeros(&[3]));
+        load_params(&mut restored, &path).unwrap();
+        assert_eq!(
+            restored.value(a).as_slice(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+        assert_eq!(restored.value(b).as_slice(), &[-1.5; 3]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn partial_load_keeps_missing_params() {
+        let mut small = ParamStore::new();
+        small.register("enc.w", Tensor::full(&[2], 9.0));
+        let path = temp_path("partial");
+        save_params(&small, &path).unwrap();
+
+        let mut big = ParamStore::new();
+        let enc = big.register("enc.w", Tensor::zeros(&[2]));
+        let head = big.register("head.w", Tensor::full(&[2], 5.0));
+        load_params(&mut big, &path).unwrap();
+        assert_eq!(big.value(enc).as_slice(), &[9.0, 9.0]);
+        assert_eq!(big.value(head).as_slice(), &[5.0, 5.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_parameter() {
+        let mut store = ParamStore::new();
+        store.register("mystery", Tensor::zeros(&[1]));
+        let path = temp_path("unknown");
+        save_params(&store, &path).unwrap();
+        let mut other = ParamStore::new();
+        other.register("different", Tensor::zeros(&[1]));
+        assert!(matches!(
+            load_params(&mut other, &path),
+            Err(NnError::Format { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(&[4]));
+        let path = temp_path("shape");
+        save_params(&store, &path).unwrap();
+        let mut other = ParamStore::new();
+        other.register("w", Tensor::zeros(&[2, 2]));
+        assert!(matches!(
+            load_params(&mut other, &path),
+            Err(NnError::Format { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOPE0000").unwrap();
+        let mut store = ParamStore::new();
+        assert!(matches!(
+            load_params(&mut store, &path),
+            Err(NnError::Format { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

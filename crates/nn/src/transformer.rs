@@ -1,0 +1,115 @@
+//! Pre-norm transformer encoder block.
+
+use crate::{LayerNorm, Mlp, MultiHeadAttention, ParamStore, Result, Session};
+use rand::Rng;
+use snappix_autograd::Var;
+
+/// A pre-norm transformer block:
+/// `x + MHA(LN(x))` followed by `x + MLP(LN(x))`.
+///
+/// Stacked `depth` times, these blocks form the encoder of both SnapPix
+/// variants and the decoder used for reconstruction pre-training
+/// (paper Sec. IV).
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Registers one block's weights under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::Config`] when `dim` is not divisible by
+    /// `heads`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        mlp_hidden: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        Ok(TransformerBlock {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng)?,
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            mlp: Mlp::new(store, &format!("{name}.mlp"), dim, mlp_hidden, rng),
+        })
+    }
+
+    /// Applies the block to `[batch, seq, dim]` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Fails for inputs whose trailing dimension differs from the
+    /// construction-time `dim`.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Result<Var> {
+        let normed = self.ln1.forward(sess, x)?;
+        let attended = self.attn.forward(sess, normed)?;
+        let x = sess.graph.add(x, attended)?;
+        let normed = self.ln2.forward(sess, x)?;
+        let fed = self.mlp.forward(sess, normed)?;
+        Ok(sess.graph.add(x, fed)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use snappix_tensor::Tensor;
+
+    #[test]
+    fn preserves_shape_and_is_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "blk", 16, 4, 32, &mut rng).unwrap();
+        let mut sess = Session::inference(&store);
+        let x = sess.input(Tensor::rand_uniform(&mut rng, &[2, 6, 16], -1.0, 1.0));
+        let y = block.forward(&mut sess, x).unwrap();
+        assert_eq!(sess.graph.value(y).shape(), &[2, 6, 16]);
+        assert!(sess.graph.value(y).as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn residual_path_keeps_input_influence() {
+        // Zeroing all weights except LayerNorm leaves the residual path, so
+        // output ~ input + const; check output moves with input.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "blk", 8, 2, 16, &mut rng).unwrap();
+        let run = |inp: &Tensor| {
+            let mut sess = Session::inference(&store);
+            let x = sess.input(inp.clone());
+            let y = block.forward(&mut sess, x).unwrap();
+            sess.graph.value(y).clone()
+        };
+        let a = run(&Tensor::zeros(&[1, 2, 8]));
+        let b = run(&Tensor::full(&[1, 2, 8], 5.0));
+        assert!(!a.approx_eq(&b, 1.0), "input change must reach the output");
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "blk", 8, 2, 16, &mut rng).unwrap();
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::rand_uniform(&mut rng, &[1, 4, 8], -1.0, 1.0));
+        let y = block.forward(&mut sess, x).unwrap();
+        let sq = sess.graph.mul(y, y).unwrap();
+        let loss = sess.graph.mean(sq).unwrap();
+        let grads = sess.backward(loss).unwrap();
+        for id in store.ids() {
+            assert!(
+                grads.get(id).is_some(),
+                "missing grad for {}",
+                store.name(id)
+            );
+        }
+    }
+}

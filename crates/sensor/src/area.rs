@@ -1,0 +1,154 @@
+//! Area model of the CE augmentation (paper Sec. V, "Area Overhead").
+//!
+//! Anchored to the paper's synthesis results:
+//!
+//! * per-pixel bottom-die logic (DFF + `M6`/`M7` drivers): **30 µm²** in
+//!   TSMC 65 nm, **3.2 µm²** scaled to 22 nm via DeepScale;
+//! * the shift-register design needs a **constant 4 wires** per tile
+//!   (`pattern in`, `pattern clk`, `pattern transfer`, `pattern reset`)
+//!   regardless of tile size;
+//! * the broadcast alternative needs **2N wires per pixel** for an
+//!   `N x N` tile, with synthesized wire footprints of 2.24 µm x 2.24 µm
+//!   at `N = 8` growing to 3.92 µm x 3.92 µm at `N = 14` — exceeding the
+//!   state-of-the-art APS pixel.
+
+/// Per-pixel CE logic area at 65 nm (paper synthesis result), in µm².
+pub const LOGIC_AREA_65NM_UM2: f64 = 30.0;
+
+/// Per-pixel CE logic area scaled to 22 nm with DeepScale, in µm².
+pub const LOGIC_AREA_22NM_UM2: f64 = 3.2;
+
+/// Side length of a state-of-the-art stacked APS pixel, in µm. Chosen
+/// between the paper's N=8 (2.24 µm) and N=14 (3.92 µm) wire footprints so
+/// that the broadcast design crosses the APS area before N = 14, as the
+/// paper reports.
+pub const APS_PIXEL_SIDE_UM: f64 = 3.5;
+
+/// Wires per pixel needed by the shift-register design (constant).
+pub const SHIFT_REGISTER_WIRES: usize = 4;
+
+/// Scales the 65 nm logic area to an arbitrary `node_nm` using the
+/// DeepScale-calibrated anchors (quadratic in feature size between the
+/// published 65 nm and 22 nm points, extrapolated with the same law).
+///
+/// # Panics
+///
+/// Panics for a non-positive node.
+pub fn logic_area_um2(node_nm: f64) -> f64 {
+    assert!(node_nm > 0.0, "process node must be positive");
+    // Fit area = k * node^alpha through (65, 30) and (22, 3.2).
+    let alpha = (LOGIC_AREA_65NM_UM2 / LOGIC_AREA_22NM_UM2).ln() / (65.0f64 / 22.0).ln();
+    let k = LOGIC_AREA_65NM_UM2 / 65.0f64.powf(alpha);
+    k * node_nm.powf(alpha)
+}
+
+/// Wires per pixel needed by the broadcast alternative for an `n x n`
+/// tile.
+pub fn broadcast_wires(n: usize) -> usize {
+    2 * n
+}
+
+/// Side length (µm) of the broadcast design's per-pixel wire footprint for
+/// an `n x n` tile, interpolated from the paper's synthesized anchors
+/// (N=8 → 2.24 µm, N=14 → 3.92 µm; the growth is linear in wire count).
+pub fn broadcast_wire_side_um(n: usize) -> f64 {
+    0.28 * n as f64
+}
+
+/// Whether the broadcast design's wire footprint exceeds the
+/// state-of-the-art APS pixel for tile size `n`.
+pub fn broadcast_exceeds_aps(n: usize) -> bool {
+    broadcast_wire_side_um(n) > APS_PIXEL_SIDE_UM
+}
+
+/// The smallest tile size at which the broadcast design no longer fits
+/// under the APS pixel (the shift-register design never hits this wall).
+pub fn broadcast_crossover_tile() -> usize {
+    (1..).find(|&n| broadcast_exceeds_aps(n)).expect("growth is unbounded")
+}
+
+/// One row of the Sec. V area comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaRow {
+    /// Tile size `n` (tiles are `n x n`).
+    pub tile: usize,
+    /// Wires per pixel, shift-register design.
+    pub shift_register_wires: usize,
+    /// Wires per pixel, broadcast design.
+    pub broadcast_wires: usize,
+    /// Broadcast wire footprint side in µm.
+    pub broadcast_wire_side_um: f64,
+    /// Whether the broadcast footprint exceeds the APS pixel.
+    pub broadcast_exceeds_aps: bool,
+}
+
+/// Builds the area-scaling table over `tiles` (experiment E5).
+pub fn area_table(tiles: &[usize]) -> Vec<AreaRow> {
+    tiles
+        .iter()
+        .map(|&n| AreaRow {
+            tile: n,
+            shift_register_wires: SHIFT_REGISTER_WIRES,
+            broadcast_wires: broadcast_wires(n),
+            broadcast_wire_side_um: broadcast_wire_side_um(n),
+            broadcast_exceeds_aps: broadcast_exceeds_aps(n),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_area_matches_paper_anchors() {
+        assert!((logic_area_um2(65.0) - 30.0).abs() < 1e-9);
+        assert!((logic_area_um2(22.0) - 3.2).abs() < 1e-9);
+        // Monotone in node size.
+        assert!(logic_area_um2(45.0) < 30.0);
+        assert!(logic_area_um2(45.0) > 3.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logic_area_rejects_zero_node() {
+        let _ = logic_area_um2(0.0);
+    }
+
+    #[test]
+    fn wire_side_matches_paper_anchors() {
+        assert!((broadcast_wire_side_um(8) - 2.24).abs() < 1e-9);
+        assert!((broadcast_wire_side_um(14) - 3.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_wire_count_is_2n() {
+        assert_eq!(broadcast_wires(8), 16);
+        assert_eq!(broadcast_wires(14), 28);
+    }
+
+    #[test]
+    fn shift_register_wiring_is_constant() {
+        for row in area_table(&[2, 8, 14, 32]) {
+            assert_eq!(row.shift_register_wires, 4);
+        }
+    }
+
+    #[test]
+    fn crossover_between_paper_anchors() {
+        // At N=8 the broadcast design fits; by N=14 it exceeds the APS.
+        assert!(!broadcast_exceeds_aps(8));
+        assert!(broadcast_exceeds_aps(14));
+        let x = broadcast_crossover_tile();
+        assert!((9..=14).contains(&x), "crossover at {x}");
+    }
+
+    #[test]
+    fn area_table_rows_are_ordered() {
+        let table = area_table(&[4, 8, 12, 16]);
+        assert_eq!(table.len(), 4);
+        for w in table.windows(2) {
+            assert!(w[1].broadcast_wire_side_um > w[0].broadcast_wire_side_um);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The full coded-exposure sensor array with shift-register pattern
+//! streaming (paper Sec. V).
+
+use crate::{CePixel, Readout, Result, SensorError};
+use snappix_ce::ExposureMask;
+use snappix_tensor::Tensor;
+
+/// Cycle and pulse accounting for one capture, used by the energy model to
+/// price the CE control overhead (the paper reports 9 pJ/pixel at a
+/// 20 MHz pattern clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaptureStats {
+    /// Pattern-clock cycles spent streaming CE bits.
+    pub pattern_clock_cycles: u64,
+    /// `M6` (pattern-reset) pulses issued.
+    pub pattern_reset_pulses: u64,
+    /// `M7` (pattern-transfer) pulses issued.
+    pub pattern_transfer_pulses: u64,
+    /// Exposure slots integrated.
+    pub exposure_slots: u64,
+    /// Pixels read out.
+    pub pixels_read: u64,
+}
+
+/// A behavioral coded-exposure sensor: an `h x w` array of [`CePixel`]s
+/// whose bottom-die DFFs form one shift register per exposure tile.
+///
+/// [`CeSensor::capture`] runs the full slot protocol of Sec. V and returns
+/// the analog FD image, which equals the algorithmic Eqn. 1 encoding
+/// exactly (property-tested in the workspace integration tests).
+#[derive(Debug, Clone)]
+pub struct CeSensor {
+    width: usize,
+    height: usize,
+    mask: ExposureMask,
+    pixels: Vec<CePixel>,
+    stats: CaptureStats,
+}
+
+impl CeSensor {
+    /// Builds a sensor of `height x width` pixels running `mask`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::Geometry`] when extents are zero or the mask
+    /// tile does not divide the array.
+    pub fn new(height: usize, width: usize, mask: ExposureMask) -> Result<Self> {
+        let (th, tw) = mask.tile();
+        if height == 0 || width == 0 {
+            return Err(SensorError::Geometry {
+                context: "sensor extents must be positive".to_string(),
+            });
+        }
+        if !height.is_multiple_of(th) || !width.is_multiple_of(tw) {
+            return Err(SensorError::Geometry {
+                context: format!("tile {th}x{tw} does not divide array {height}x{width}"),
+            });
+        }
+        Ok(CeSensor {
+            width,
+            height,
+            mask,
+            pixels: vec![CePixel::new(); height * width],
+            stats: CaptureStats::default(),
+        })
+    }
+
+    /// Array height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Array width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The exposure mask programmed into the controller.
+    pub fn mask(&self) -> &ExposureMask {
+        &self.mask
+    }
+
+    /// Accounting from the most recent capture.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    /// Direct access to a pixel's state (diagnostics and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::Geometry`] for out-of-range coordinates.
+    pub fn pixel(&self, y: usize, x: usize) -> Result<&CePixel> {
+        if y >= self.height || x >= self.width {
+            return Err(SensorError::Geometry {
+                context: format!("pixel ({y}, {x}) outside {}x{}", self.height, self.width),
+            });
+        }
+        Ok(&self.pixels[y * self.width + x])
+    }
+
+    /// Streams the CE bits for `slot` into every tile's shift register.
+    ///
+    /// All tiles stream in parallel (each has its own 4-wire interface);
+    /// the pattern clock runs `th * tw` cycles. Bits are pushed
+    /// last-pixel-first so that after the final cycle pixel `k` of each
+    /// tile holds bit `k`.
+    fn stream_pattern(&mut self, slot: usize) {
+        let (th, tw) = self.mask.tile();
+        let chain_len = th * tw;
+        let pattern = self.mask.pattern().as_slice();
+        let slot_bits = &pattern[slot * chain_len..(slot + 1) * chain_len];
+        // Ungate every DFF for streaming.
+        for p in &mut self.pixels {
+            p.set_gated(false);
+        }
+        let tiles_y = self.height / th;
+        let tiles_x = self.width / tw;
+        for cycle in 0..chain_len {
+            // Bit entering each chain this cycle (reverse order).
+            let incoming = slot_bits[chain_len - 1 - cycle] != 0.0;
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    // Walk the chain backwards so each pixel consumes its
+                    // predecessor's previous output within one clock edge.
+                    let mut carry = incoming;
+                    for k in 0..chain_len {
+                        let (dy, dx) = (k / tw, k % tw);
+                        let idx = (ty * th + dy) * self.width + (tx * tw + dx);
+                        carry = self.pixels[idx].shift(carry);
+                    }
+                }
+            }
+        }
+        self.stats.pattern_clock_cycles += chain_len as u64;
+        // Power-gate again once the bits are in place.
+        for p in &mut self.pixels {
+            p.set_gated(true);
+        }
+    }
+
+    /// Captures a `[t, h, w]` irradiance video through the slot protocol
+    /// and returns the analog `[h, w]` FD image.
+    ///
+    /// Protocol per slot (paper Sec. V): stream bits, pulse `M6`
+    /// (conditional PD reset), integrate the slot, stream the same bits
+    /// again, pulse `M7` (conditional transfer), power-gate the DFFs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::Stimulus`] when the video does not match the
+    /// sensor resolution or the mask's slot count.
+    pub fn capture(&mut self, video: &Tensor) -> Result<Tensor> {
+        if video.rank() != 3 {
+            return Err(SensorError::Stimulus {
+                context: format!("expected [t, h, w] video, got {:?}", video.shape()),
+            });
+        }
+        let (t, h, w) = (video.shape()[0], video.shape()[1], video.shape()[2]);
+        if t != self.mask.num_slots() || h != self.height || w != self.width {
+            return Err(SensorError::Stimulus {
+                context: format!(
+                    "video {t}x{h}x{w} does not match sensor {}x{}x{}",
+                    self.mask.num_slots(),
+                    self.height,
+                    self.width
+                ),
+            });
+        }
+        self.stats = CaptureStats::default();
+        for p in &mut self.pixels {
+            *p = CePixel::new();
+            p.reset_fd();
+        }
+        let frames = video.as_slice();
+        for slot in 0..t {
+            // Phase 1: program the slot's bits and conditionally reset PDs.
+            self.stream_pattern(slot);
+            for p in &mut self.pixels {
+                p.pattern_reset();
+            }
+            self.stats.pattern_reset_pulses += 1;
+
+            // Phase 2: integrate the slot (every PD integrates; gating is
+            // done purely through reset/transfer).
+            let frame = &frames[slot * h * w..(slot + 1) * h * w];
+            for (p, &light) in self.pixels.iter_mut().zip(frame) {
+                p.expose(light, 1.0);
+            }
+            self.stats.exposure_slots += 1;
+
+            // Phase 3: re-stream the same bits and conditionally transfer.
+            self.stream_pattern(slot);
+            for p in &mut self.pixels {
+                p.pattern_transfer();
+            }
+            self.stats.pattern_transfer_pulses += 1;
+        }
+        // Rolling readout of the FD array.
+        let mut out = Tensor::zeros(&[h, w]);
+        let data = out.as_mut_slice();
+        for (d, p) in data.iter_mut().zip(&self.pixels) {
+            *d = p.read();
+        }
+        self.stats.pixels_read = (h * w) as u64;
+        Ok(out)
+    }
+
+    /// Captures and digitizes in one call: the analog image from
+    /// [`CeSensor::capture`] pushed through a [`Readout`] chain (noise +
+    /// ADC).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CeSensor::capture`].
+    pub fn capture_digital(&mut self, video: &Tensor, readout: &mut Readout) -> Result<Tensor> {
+        let analog = self.capture(video)?;
+        Ok(readout.digitize(&analog))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use snappix_ce::{encode, patterns};
+
+    #[test]
+    fn geometry_validation() {
+        let mask = patterns::long_exposure(2, (4, 4)).unwrap();
+        assert!(CeSensor::new(0, 8, mask.clone()).is_err());
+        assert!(CeSensor::new(8, 9, mask.clone()).is_err());
+        assert!(CeSensor::new(8, 8, mask).is_ok());
+    }
+
+    #[test]
+    fn stimulus_validation() {
+        let mask = patterns::long_exposure(2, (4, 4)).unwrap();
+        let mut sensor = CeSensor::new(8, 8, mask).unwrap();
+        assert!(sensor.capture(&Tensor::zeros(&[3, 8, 8])).is_err());
+        assert!(sensor.capture(&Tensor::zeros(&[2, 4, 8])).is_err());
+        assert!(sensor.capture(&Tensor::zeros(&[8, 8])).is_err());
+    }
+
+    #[test]
+    fn capture_matches_algorithmic_encode() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for seed in 0..5u64 {
+            let mut mask_rng = StdRng::seed_from_u64(seed);
+            let mask = patterns::random(4, (4, 4), 0.5, &mut mask_rng).unwrap();
+            let video = Tensor::rand_uniform(&mut rng, &[4, 8, 8], 0.0, 1.0);
+            let mut sensor = CeSensor::new(8, 8, mask.clone()).unwrap();
+            let hw = sensor.capture(&video).unwrap();
+            let sw = encode(&video, &mask).unwrap();
+            assert!(
+                hw.approx_eq(&sw, 1e-5),
+                "hardware and Eqn. 1 disagree for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_random_mask_matches_encode() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = patterns::sparse_random(8, (2, 2), &mut rng).unwrap();
+        let video = Tensor::rand_uniform(&mut rng, &[8, 6, 6], 0.0, 1.0);
+        let mut sensor = CeSensor::new(6, 6, mask.clone()).unwrap();
+        let hw = sensor.capture(&video).unwrap();
+        let sw = encode(&video, &mask).unwrap();
+        assert!(hw.approx_eq(&sw, 1e-5));
+    }
+
+    #[test]
+    fn stats_account_for_protocol() {
+        let mask = patterns::long_exposure(4, (2, 2)).unwrap();
+        let mut sensor = CeSensor::new(4, 4, mask).unwrap();
+        sensor.capture(&Tensor::zeros(&[4, 4, 4])).unwrap();
+        let stats = sensor.stats();
+        // 2 streams per slot x 4 slots x 4 cycles per stream.
+        assert_eq!(stats.pattern_clock_cycles, 2 * 4 * 4);
+        assert_eq!(stats.pattern_reset_pulses, 4);
+        assert_eq!(stats.pattern_transfer_pulses, 4);
+        assert_eq!(stats.exposure_slots, 4);
+        assert_eq!(stats.pixels_read, 16);
+    }
+
+    #[test]
+    fn second_capture_is_independent() {
+        let mask = patterns::long_exposure(2, (2, 2)).unwrap();
+        let mut sensor = CeSensor::new(4, 4, mask).unwrap();
+        let bright = sensor.capture(&Tensor::full(&[2, 4, 4], 1.0)).unwrap();
+        let dark = sensor.capture(&Tensor::zeros(&[2, 4, 4])).unwrap();
+        assert_eq!(bright.as_slice()[0], 2.0);
+        assert_eq!(dark.sum(), 0.0, "FD must be reset between captures");
+    }
+
+    #[test]
+    fn pixel_accessor_bounds() {
+        let mask = patterns::long_exposure(2, (2, 2)).unwrap();
+        let sensor = CeSensor::new(4, 4, mask).unwrap();
+        assert!(sensor.pixel(3, 3).is_ok());
+        assert!(sensor.pixel(4, 0).is_err());
+    }
+
+    #[test]
+    fn shift_register_places_asymmetric_pattern_correctly() {
+        // Slot 0 exposes only tile pixel (0, 1); the coded image must
+        // light up exactly the columns congruent to 1 mod 2.
+        let mut p = Tensor::zeros(&[1, 2, 2]);
+        p.set(&[0, 0, 1], 1.0).unwrap();
+        let mask = ExposureMask::new(p).unwrap();
+        let mut sensor = CeSensor::new(4, 4, mask).unwrap();
+        let img = sensor.capture(&Tensor::ones(&[1, 4, 4])).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                let expected = if y % 2 == 0 && x % 2 == 1 { 1.0 } else { 0.0 };
+                assert_eq!(
+                    img.get(&[y, x]).unwrap(),
+                    expected,
+                    "pixel ({y}, {x})"
+                );
+            }
+        }
+    }
+}

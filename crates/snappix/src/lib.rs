@@ -1,0 +1,79 @@
+//! SnapPix: efficient-coding-inspired in-sensor compression for edge
+//! vision — a from-scratch Rust reproduction of the DAC 2025 paper.
+//!
+//! SnapPix reduces edge sensing energy by compressing video *inside the
+//! image sensor* with coded exposure (CE): each pixel is selectively
+//! exposed across `T` time slots and the exposures integrate into a single
+//! coded image, cutting read-out and transmission energy by `T`x. The
+//! exposure pattern is learned task-agnostically by *decorrelating* coded
+//! pixels (the efficient-coding principle of the retina), and the
+//! downstream vision model is a ViT co-designed with the tile-repetitive
+//! pattern.
+//!
+//! This crate is the public face of the workspace: it re-exports every
+//! subsystem and adds [`SnapPixSystem`], an end-to-end pipeline that runs
+//! a clip through the *hardware sensor simulation* (per-pixel charge
+//! model, shift-register pattern streaming, ADC) and classifies the coded
+//! image — plus [`EdgeNode`], the energy accounting for deployment
+//! planning.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use snappix::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Data: a procedural stand-in for SSV2 (see DESIGN.md).
+//! let data = Dataset::new(ssv2_like(16, 32, 32), 200);
+//! let (train, test) = data.split(0.8);
+//!
+//! // 2. Learn the exposure pattern by decorrelation (task-agnostic).
+//! let mut trainer = DecorrelationTrainer::new(DecorrelationConfig::default())?;
+//! let learned = trainer.train(&train, 30)?;
+//!
+//! // 3. Train the co-designed ViT on coded images.
+//! let mut model = SnapPixAr::new(VitConfig::snappix_s(32, 32, 10), learned.mask.clone())?;
+//! train_action_model(&mut model, &train, &TrainOptions::experiment(10))?;
+//!
+//! // 4. Deploy: run clips through the simulated sensor hardware.
+//! let mut system = SnapPixSystem::new(model, ReadoutConfig::default())?;
+//! let sample = test.sample(0);
+//! let predicted = system.classify(sample.video.frames())?;
+//! println!("predicted class {predicted}, truth {}", sample.label);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod report;
+mod system;
+
+pub use node::EdgeNode;
+pub use report::{evaluate_deployment, DeploymentReport};
+pub use system::{SnapPixSystem, SystemError};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::{
+        evaluate_deployment, DeploymentReport, EdgeNode, SnapPixSystem, SystemError,
+    };
+    pub use snappix_ce::{
+        encode, encode_batch, encode_batch_normalized, encode_normalized,
+        measure_pattern_correlation, normalize_coded, patterns, DecorrelationConfig,
+        DecorrelationTrainer, ExposureMask, PatternKind,
+    };
+    pub use snappix_energy::{EnergyModel, Scenario, Wireless};
+    pub use snappix_models::{
+        evaluate_accuracy, measure_inference_rate, train_action_model, ActionModel, C3d,
+        DownsampleVideoVit, MaeConfig, MaePretrainer, SnapPixAr, SnapPixRec, Svc2d, TrainOptions,
+        VideoVit, VitConfig,
+    };
+    pub use snappix_sensor::{CeSensor, Readout, ReadoutConfig};
+    pub use snappix_tensor::Tensor;
+    pub use snappix_video::{
+        k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video,
+    };
+}

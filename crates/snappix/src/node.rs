@@ -1,0 +1,95 @@
+//! Edge-node deployment planning: what does a capture window cost?
+
+use snappix_energy::{EnergyBreakdown, EnergyModel, Scenario, Wireless};
+
+/// An edge sensing node description, combining the sensor geometry with an
+/// offload link to price deployments (paper Sec. VI-D).
+///
+/// # Examples
+///
+/// ```
+/// use snappix::EdgeNode;
+/// use snappix_energy::Wireless;
+///
+/// let node = EdgeNode::new(112 * 112, 16, Wireless::LoraBackscatter);
+/// let saving = node.snappix_saving();
+/// assert!(saving > 10.0); // the paper reports 15.4x at long range
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeNode {
+    model: EnergyModel,
+    scenario: Scenario,
+}
+
+impl EdgeNode {
+    /// Describes a node capturing `frame_pixels`-pixel frames in windows
+    /// of `slots` frames, offloading over `wireless`.
+    pub fn new(frame_pixels: usize, slots: usize, wireless: Wireless) -> Self {
+        EdgeNode {
+            model: EnergyModel::paper(),
+            scenario: Scenario {
+                frame_pixels,
+                slots,
+                wireless,
+            },
+        }
+    }
+
+    /// Replaces the component energy model (for sensitivity studies).
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Energy of a conventional (read-every-frame) node per capture
+    /// window.
+    pub fn conventional_energy(&self) -> EnergyBreakdown {
+        self.model.conventional_energy(&self.scenario)
+    }
+
+    /// Energy of a SnapPix node per capture window.
+    pub fn snappix_energy(&self) -> EnergyBreakdown {
+        self.model.snappix_energy(&self.scenario)
+    }
+
+    /// Edge energy saving factor of SnapPix over conventional capture.
+    pub fn snappix_saving(&self) -> f64 {
+        self.model.edge_energy_saving(&self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios() {
+        let short = EdgeNode::new(112 * 112, 16, Wireless::PassiveWifi);
+        assert!((short.snappix_saving() - 7.6).abs() < 0.2);
+        let long = EdgeNode::new(112 * 112, 16, Wireless::LoraBackscatter);
+        assert!(long.snappix_saving() > short.snappix_saving());
+    }
+
+    #[test]
+    fn custom_model_changes_results() {
+        let node = EdgeNode::new(1024, 16, Wireless::PassiveWifi);
+        let mut custom = EnergyModel::paper();
+        custom.ce_overhead_pj_per_pixel_slot = 0.0;
+        let cheaper_ce = node.with_energy_model(custom);
+        assert!(cheaper_ce.snappix_saving() > node.snappix_saving());
+        assert_eq!(node.scenario().slots, 16);
+    }
+
+    #[test]
+    fn breakdowns_are_consistent_with_saving() {
+        let node = EdgeNode::new(2048, 8, Wireless::Custom(50.0));
+        let ratio =
+            node.conventional_energy().total_pj() / node.snappix_energy().total_pj();
+        assert!((ratio - node.snappix_saving()).abs() < 1e-9);
+    }
+}

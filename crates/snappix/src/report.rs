@@ -1,0 +1,146 @@
+//! Deployment evaluation: accuracy, protocol activity and energy of a
+//! [`SnapPixSystem`](crate::SnapPixSystem) over a dataset, in one report.
+
+use crate::{EdgeNode, SnapPixSystem, SystemError};
+use snappix_energy::Wireless;
+use snappix_video::Dataset;
+
+/// Result of evaluating a deployed system over a dataset through the full
+/// hardware simulation path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Clips evaluated.
+    pub clips: usize,
+    /// Correct classifications.
+    pub correct: usize,
+    /// Pattern-clock cycles per capture (constant for a fixed geometry).
+    pub pattern_clock_cycles_per_capture: u64,
+    /// Pixels read out per capture.
+    pub pixels_read_per_capture: u64,
+    /// Edge energy per capture window in microjoules (SnapPix pipeline).
+    pub energy_uj_per_capture: f64,
+    /// Edge energy a conventional camera would spend per window, µJ.
+    pub conventional_energy_uj_per_capture: f64,
+}
+
+impl DeploymentReport {
+    /// Classification accuracy in percent.
+    pub fn accuracy(&self) -> f32 {
+        if self.clips == 0 {
+            return f32::NAN;
+        }
+        100.0 * self.correct as f32 / self.clips as f32
+    }
+
+    /// Edge energy saving factor versus conventional capture.
+    pub fn energy_saving(&self) -> f64 {
+        self.conventional_energy_uj_per_capture / self.energy_uj_per_capture
+    }
+
+    /// Energy per *correct* classification in microjoules — the figure of
+    /// merit for an accuracy/energy co-design.
+    pub fn energy_uj_per_correct(&self) -> f64 {
+        if self.correct == 0 {
+            return f64::INFINITY;
+        }
+        self.energy_uj_per_capture * self.clips as f64 / self.correct as f64
+    }
+}
+
+/// Runs every clip of `dataset` through the hardware path of `system` and
+/// combines the outcome with the energy model for `wireless`.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] when a clip does not match the sensor, and a
+/// `SystemError::Model` wrapping an input error for an empty dataset.
+pub fn evaluate_deployment(
+    system: &mut SnapPixSystem,
+    dataset: &Dataset,
+    wireless: Wireless,
+) -> Result<DeploymentReport, SystemError> {
+    if dataset.is_empty() {
+        return Err(SystemError::Model(snappix_models::ModelError::Input {
+            context: "deployment evaluation needs a non-empty dataset".to_string(),
+        }));
+    }
+    let mut correct = 0usize;
+    for i in 0..dataset.len() {
+        let sample = dataset.sample(i);
+        if system.classify(sample.video.frames())? == sample.label {
+            correct += 1;
+        }
+    }
+    let stats = system.last_capture_stats();
+    let node = EdgeNode::new(
+        (system.sensor().height() * system.sensor().width()) as usize,
+        system.model().mask().num_slots(),
+        wireless,
+    );
+    Ok(DeploymentReport {
+        clips: dataset.len(),
+        correct,
+        pattern_clock_cycles_per_capture: stats.pattern_clock_cycles,
+        pixels_read_per_capture: stats.pixels_read,
+        energy_uj_per_capture: node.snappix_energy().total_pj() / 1e6,
+        conventional_energy_uj_per_capture: node.conventional_energy().total_pj() / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snappix_ce::patterns;
+    use snappix_models::{SnapPixAr, VitConfig};
+    use snappix_sensor::ReadoutConfig;
+    use snappix_video::ssv2_like;
+
+    fn system() -> SnapPixSystem {
+        let mask = patterns::long_exposure(8, (8, 8)).expect("valid dims");
+        let model =
+            SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask).expect("geometry");
+        SnapPixSystem::new(model, ReadoutConfig::noiseless(8, 8.0)).expect("assembly")
+    }
+
+    #[test]
+    fn report_counts_and_energy_are_consistent() {
+        let mut sys = system();
+        let data = Dataset::new(ssv2_like(8, 16, 16), 6);
+        let report =
+            evaluate_deployment(&mut sys, &data, Wireless::PassiveWifi).expect("evaluation");
+        assert_eq!(report.clips, 6);
+        assert!(report.correct <= 6);
+        assert!(report.accuracy() >= 0.0 && report.accuracy() <= 100.0);
+        assert!(report.energy_saving() > 1.0);
+        assert_eq!(report.pixels_read_per_capture, 16 * 16);
+        assert_eq!(report.pattern_clock_cycles_per_capture, (2 * 8 * 64) as u64);
+        assert!(
+            report.energy_uj_per_correct() >= report.energy_uj_per_capture
+                || report.correct == report.clips
+        );
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let mut sys = system();
+        let empty = Dataset::new(ssv2_like(8, 16, 16), 0);
+        assert!(evaluate_deployment(&mut sys, &empty, Wireless::PassiveWifi).is_err());
+    }
+
+    #[test]
+    fn zero_correct_gives_infinite_energy_per_correct() {
+        let report = DeploymentReport {
+            clips: 4,
+            correct: 0,
+            pattern_clock_cycles_per_capture: 1,
+            pixels_read_per_capture: 1,
+            energy_uj_per_capture: 1.0,
+            conventional_energy_uj_per_capture: 8.0,
+        };
+        assert!(report.energy_uj_per_correct().is_infinite());
+        assert_eq!(report.accuracy(), 0.0);
+        assert_eq!(report.energy_saving(), 8.0);
+        let empty = DeploymentReport { clips: 0, ..report };
+        assert!(empty.accuracy().is_nan());
+    }
+}

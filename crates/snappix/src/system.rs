@@ -1,0 +1,214 @@
+//! The end-to-end SnapPix pipeline: sensor hardware simulation plus the
+//! co-designed vision model.
+
+use snappix_ce::normalize_coded;
+use snappix_models::{ActionModel, SnapPixAr};
+use snappix_nn::Session;
+use snappix_sensor::{CaptureStats, CeSensor, Readout, ReadoutConfig};
+use snappix_tensor::Tensor;
+use std::fmt;
+
+/// Error type for the end-to-end system.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The sensor simulation failed.
+    Sensor(snappix_sensor::SensorError),
+    /// The vision model failed.
+    Model(snappix_models::ModelError),
+    /// A tensor operation failed.
+    Tensor(snappix_tensor::TensorError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Sensor(e) => write!(f, "sensor error: {e}"),
+            SystemError::Model(e) => write!(f, "model error: {e}"),
+            SystemError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Sensor(e) => Some(e),
+            SystemError::Model(e) => Some(e),
+            SystemError::Tensor(e) => Some(e),
+        }
+    }
+}
+
+impl From<snappix_sensor::SensorError> for SystemError {
+    fn from(e: snappix_sensor::SensorError) -> Self {
+        SystemError::Sensor(e)
+    }
+}
+
+impl From<snappix_models::ModelError> for SystemError {
+    fn from(e: snappix_models::ModelError) -> Self {
+        SystemError::Model(e)
+    }
+}
+
+impl From<snappix_tensor::TensorError> for SystemError {
+    fn from(e: snappix_tensor::TensorError) -> Self {
+        SystemError::Tensor(e)
+    }
+}
+
+/// The deployed SnapPix pipeline: incident light goes through the
+/// simulated CE sensor (charge-domain pixel model, shift-register pattern
+/// streaming, noisy ADC) and the resulting coded image drives the
+/// co-designed ViT.
+///
+/// During *training* the algorithmic encoder ([`snappix_ce::encode`]) is
+/// used for speed; this type is the *deployment* path that exercises the
+/// hardware model end to end. The workspace integration tests assert both
+/// paths agree.
+pub struct SnapPixSystem {
+    model: SnapPixAr,
+    sensor: CeSensor,
+    readout: Readout,
+}
+
+impl fmt::Debug for SnapPixSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapPixSystem")
+            .field("sensor", &(self.sensor.height(), self.sensor.width()))
+            .field("model", &self.model.name().to_string())
+            .finish()
+    }
+}
+
+impl SnapPixSystem {
+    /// Assembles a system around a (typically already trained) model; the
+    /// sensor geometry and mask are taken from the model.
+    ///
+    /// The readout's `full_scale` is overridden to the mask's slot count
+    /// so the ADC range matches the worst-case accumulated charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Sensor`] when the model's geometry cannot
+    /// form a sensor.
+    pub fn new(model: SnapPixAr, readout: ReadoutConfig) -> Result<Self, SystemError> {
+        let cfg = model.encoder().config();
+        let sensor = CeSensor::new(cfg.height, cfg.width, model.mask().clone())?;
+        let readout = Readout::new(ReadoutConfig {
+            full_scale: model.mask().num_slots() as f32,
+            ..readout
+        });
+        Ok(SnapPixSystem {
+            model,
+            sensor,
+            readout,
+        })
+    }
+
+    /// The vision model.
+    pub fn model(&self) -> &SnapPixAr {
+        &self.model
+    }
+
+    /// The simulated sensor.
+    pub fn sensor(&self) -> &CeSensor {
+        &self.sensor
+    }
+
+    /// Statistics of the most recent capture (for energy accounting).
+    pub fn last_capture_stats(&self) -> CaptureStats {
+        self.sensor.stats()
+    }
+
+    /// Captures one `[t, h, w]` clip through the hardware simulation and
+    /// returns the digitized, exposure-normalized coded image the node
+    /// would transmit.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the sensor.
+    pub fn sense(&mut self, video: &Tensor) -> Result<Tensor, SystemError> {
+        let digital = self
+            .sensor
+            .capture_digital(video, &mut self.readout)?;
+        Ok(normalize_coded(&digital, self.model.mask()))
+    }
+
+    /// Full pipeline: sense the clip, classify the coded image, return
+    /// the predicted class index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the sensor or the model.
+    pub fn classify(&mut self, video: &Tensor) -> Result<usize, SystemError> {
+        let logits = self.logits(video)?;
+        Ok(logits
+            .argmax_axis(1)
+            .map_err(SystemError::from)?[0])
+    }
+
+    /// Full pipeline returning raw class logits `[1, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the sensor or the model.
+    pub fn logits(&mut self, video: &Tensor) -> Result<Tensor, SystemError> {
+        let coded = self.sense(video)?;
+        let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
+        let mut sess = Session::inference(self.model.store());
+        let logits = self.model.build_logits_from_coded(&mut sess, &batch)?;
+        Ok(sess.graph.value(logits).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snappix_ce::patterns;
+    use snappix_models::VitConfig;
+    use snappix_video::{ssv2_like, Dataset};
+
+    fn system() -> SnapPixSystem {
+        let mask = patterns::long_exposure(8, (8, 8)).unwrap();
+        let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask).unwrap();
+        SnapPixSystem::new(model, ReadoutConfig::noiseless(8, 8.0)).unwrap()
+    }
+
+    #[test]
+    fn sense_produces_normalized_coded_image() {
+        let mut sys = system();
+        let video = Tensor::full(&[8, 16, 16], 0.5);
+        let coded = sys.sense(&video).unwrap();
+        assert_eq!(coded.shape(), &[16, 16]);
+        // Long exposure of constant 0.5, normalized by 8 slots -> ~0.5
+        // (up to ADC quantization).
+        assert!(coded.approx_eq(&Tensor::full(&[16, 16], 0.5), 0.02));
+    }
+
+    #[test]
+    fn classify_returns_valid_class() {
+        let mut sys = system();
+        let data = Dataset::new(ssv2_like(8, 16, 16), 1);
+        let label = sys.classify(data.sample(0).video.frames()).unwrap();
+        assert!(label < 5);
+        let logits = sys.logits(data.sample(0).video.frames()).unwrap();
+        assert_eq!(logits.shape(), &[1, 5]);
+        assert!(sys.last_capture_stats().pixels_read > 0);
+    }
+
+    #[test]
+    fn wrong_clip_geometry_errors() {
+        let mut sys = system();
+        assert!(sys.classify(&Tensor::zeros(&[4, 16, 16])).is_err());
+        assert!(sys.sense(&Tensor::zeros(&[8, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn debug_and_accessors() {
+        let sys = system();
+        assert!(format!("{sys:?}").contains("SnapPixSystem"));
+        assert_eq!(sys.sensor().height(), 16);
+        assert_eq!(sys.model().mask().num_slots(), 8);
+    }
+}

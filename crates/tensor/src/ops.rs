@@ -1,0 +1,666 @@
+//! Linear algebra, reductions and multi-tensor operations.
+
+use crate::shape::unravel;
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix multiplication.
+    ///
+    /// Supports `[m, k] x [k, n]` and batched `[b, m, k] x [b, k, n]` (or a
+    /// shared rank-2 right-hand side `[k, n]` against a batched left-hand
+    /// side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when the inner dimensions (or
+    /// batch dimensions) disagree, and [`TensorError::RankMismatch`] for
+    /// rank < 2 operands.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snappix_tensor::Tensor;
+    /// # fn main() -> Result<(), snappix_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let i = Tensor::eye(2);
+    /// assert_eq!(a.matmul(&i)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        match (self.rank(), other.rank()) {
+            (2, 2) => self.matmul2(other),
+            (3, 2) => {
+                let b = self.shape()[0];
+                let (m, k) = (self.shape()[1], self.shape()[2]);
+                if other.shape()[0] != k {
+                    return Err(TensorError::MatmulMismatch {
+                        lhs: self.shape().to_vec(),
+                        rhs: other.shape().to_vec(),
+                    });
+                }
+                let n = other.shape()[1];
+                let flat = self.reshape(&[b * m, k])?;
+                let out = flat.matmul2(other)?;
+                out.reshape(&[b, m, n])
+            }
+            (3, 3) => {
+                let (b1, m, k1) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+                if b1 != b2 || k1 != k2 {
+                    return Err(TensorError::MatmulMismatch {
+                        lhs: self.shape().to_vec(),
+                        rhs: other.shape().to_vec(),
+                    });
+                }
+                let mut out = Tensor::zeros(&[b1, m, n]);
+                let lhs = self.as_slice();
+                let rhs = other.as_slice();
+                let dst = out.as_mut_slice();
+                for b in 0..b1 {
+                    matmul_kernel(
+                        &lhs[b * m * k1..(b + 1) * m * k1],
+                        &rhs[b * k1 * n..(b + 1) * k1 * n],
+                        &mut dst[b * m * n..(b + 1) * m * n],
+                        m,
+                        k1,
+                        n,
+                    );
+                }
+                Ok(out)
+            }
+            (r1, r2) => Err(TensorError::RankMismatch {
+                expected: 2,
+                got: r1.min(r2),
+            }),
+        }
+    }
+
+    fn matmul2(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k1) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k1 != k2 {
+            return Err(TensorError::MatmulMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_kernel(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k1, n);
+        Ok(out)
+    }
+
+    /// Inner product of two 1-D tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] unless both operands are
+    /// 1-D of the same length.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.rank() != 1 || other.rank() != 1 || self.len() != other.len() {
+            return Err(TensorError::IncompatibleShapes {
+                context: format!("dot of {:?} and {:?}", self.shape(), other.shape()),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (`f32::NEG_INFINITY` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`f32::INFINITY` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Sums along `axis`; `keepdims` retains the axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize, keepdims: bool) -> Result<Tensor> {
+        let rank = self.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let outer: usize = self.shape()[..axis].iter().product();
+        let mid = self.shape()[axis];
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let mut out_shape = self.shape().to_vec();
+        if keepdims {
+            out_shape[axis] = 1;
+        } else {
+            out_shape.remove(axis);
+        }
+        let mut data = vec![0.0f32; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    data[o * inner + i] += src[base + i];
+                }
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Means along `axis`; `keepdims` retains the axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn mean_axis(&self, axis: usize, keepdims: bool) -> Result<Tensor> {
+        let n = self.shape().get(axis).copied().unwrap_or(0).max(1) as f32;
+        Ok(self.sum_axis(axis, keepdims)?.scale(1.0 / n))
+    }
+
+    /// Index of the maximum along `axis` (ties resolve to the first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`, or
+    /// [`TensorError::InvalidArgument`] for a zero-extent axis.
+    pub fn argmax_axis(&self, axis: usize) -> Result<Vec<usize>> {
+        let rank = self.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mid = self.shape()[axis];
+        if mid == 0 {
+            return Err(TensorError::InvalidArgument {
+                context: "argmax over empty axis".to_string(),
+            });
+        }
+        let outer: usize = self.shape()[..axis].iter().product();
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let src = self.as_slice();
+        let mut out = vec![0usize; outer * inner];
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for m in 0..mid {
+                    let v = src[(o * mid + m) * inner + i];
+                    if v > best {
+                        best = v;
+                        best_idx = m;
+                    }
+                }
+                out[o * inner + i] = best_idx;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-tensor operations
+    // ------------------------------------------------------------------
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty input list,
+    /// [`TensorError::AxisOutOfRange`] for a bad axis, or
+    /// [`TensorError::IncompatibleShapes`] when the non-`axis` extents
+    /// differ.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+        let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
+            context: "concat of zero tensors".to_string(),
+        })?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0usize;
+        for t in tensors {
+            if t.rank() != rank {
+                return Err(TensorError::IncompatibleShapes {
+                    context: format!("concat ranks {} vs {}", rank, t.rank()),
+                });
+            }
+            for d in 0..rank {
+                if d != axis && t.shape()[d] != first.shape()[d] {
+                    return Err(TensorError::IncompatibleShapes {
+                        context: format!(
+                            "concat shapes {:?} vs {:?} differ off-axis",
+                            first.shape(),
+                            t.shape()
+                        ),
+                    });
+                }
+            }
+            axis_total += t.shape()[axis];
+        }
+        let mut out_shape = first.shape().to_vec();
+        out_shape[axis] = axis_total;
+        let outer: usize = first.shape()[..axis].iter().product();
+        let inner: usize = first.shape()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_shape.iter().product());
+        for o in 0..outer {
+            for t in tensors {
+                let mid = t.shape()[axis];
+                let base = o * mid * inner;
+                data.extend_from_slice(&t.as_slice()[base..base + mid * inner]);
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Stacks equal-shape tensors along a new leading `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty list or
+    /// [`TensorError::IncompatibleShapes`] when shapes differ.
+    pub fn stack(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+        let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
+            context: "stack of zero tensors".to_string(),
+        })?;
+        for t in tensors {
+            if t.shape() != first.shape() {
+                return Err(TensorError::IncompatibleShapes {
+                    context: format!("stack shapes {:?} vs {:?}", first.shape(), t.shape()),
+                });
+            }
+        }
+        let unsqueezed: Vec<Tensor> = tensors
+            .iter()
+            .map(|t| t.unsqueeze(axis))
+            .collect::<Result<_>>()?;
+        let refs: Vec<&Tensor> = unsqueezed.iter().collect();
+        Tensor::concat(&refs, axis)
+    }
+
+    /// Softmax along the last axis.
+    ///
+    /// Numerically stabilized by subtracting the row maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn softmax_last(&self) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        let n = *self.shape().last().expect("rank >= 1");
+        let rows = self.len() / n.max(1);
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..rows {
+            let row = &mut data[r * n..(r + 1) * n];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut total = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                total += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= total;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts non-overlapping `ph x pw` patches from a `[h, w]` tensor,
+    /// returning `[num_patches, ph * pw]` in row-major patch order.
+    ///
+    /// This is the ViT "patchify" primitive; the coded-exposure crate uses
+    /// it with the CE tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 input or
+    /// [`TensorError::InvalidArgument`] when `h`/`w` are not multiples of the
+    /// patch extents.
+    pub fn extract_patches(&self, ph: usize, pw: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+            });
+        }
+        let (h, w) = (self.shape()[0], self.shape()[1]);
+        if ph == 0 || pw == 0 || h % ph != 0 || w % pw != 0 {
+            return Err(TensorError::InvalidArgument {
+                context: format!("patches {ph}x{pw} do not tile {h}x{w}"),
+            });
+        }
+        let (gh, gw) = (h / ph, w / pw);
+        let mut out = Tensor::zeros(&[gh * gw, ph * pw]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let p = gy * gw + gx;
+                for y in 0..ph {
+                    for x in 0..pw {
+                        dst[p * ph * pw + y * pw + x] = src[(gy * ph + y) * w + (gx * pw + x)];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of [`Tensor::extract_patches`]: reassembles
+    /// `[num_patches, ph * pw]` into `[h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the patch grid does not
+    /// match `h x w`.
+    pub fn assemble_patches(&self, ph: usize, pw: usize, h: usize, w: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+            });
+        }
+        if ph == 0 || pw == 0 || !h.is_multiple_of(ph) || !w.is_multiple_of(pw) {
+            return Err(TensorError::InvalidArgument {
+                context: format!("patches {ph}x{pw} do not tile {h}x{w}"),
+            });
+        }
+        let (gh, gw) = (h / ph, w / pw);
+        if self.shape()[0] != gh * gw || self.shape()[1] != ph * pw {
+            return Err(TensorError::InvalidArgument {
+                context: format!(
+                    "patch tensor {:?} does not match {gh}x{gw} grid of {ph}x{pw}",
+                    self.shape()
+                ),
+            });
+        }
+        let mut out = Tensor::zeros(&[h, w]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let p = gy * gw + gx;
+                for y in 0..ph {
+                    for x in 0..pw {
+                        dst[(gy * ph + y) * w + (gx * pw + x)] = src[p * ph * pw + y * pw + x];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gathers rows of a rank-2 tensor by index, producing
+    /// `[indices.len(), cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 input or
+    /// [`TensorError::IndexOutOfRange`] for a bad row index.
+    pub fn gather_rows(&self, indices: &[usize]) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            if i >= rows {
+                return Err(TensorError::IndexOutOfRange { index: i, len: rows });
+            }
+            data.extend_from_slice(&self.as_slice()[i * cols..(i + 1) * cols]);
+        }
+        Tensor::from_vec(data, &[indices.len(), cols])
+    }
+}
+
+/// Cache-friendly `m x k * k x n` kernel (ikj loop order) accumulating into
+/// `dst`, which must be zero-initialized.
+fn matmul_kernel(lhs: &[f32], rhs: &[f32], dst: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let a = lhs[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            let rrow = &rhs[p * n..(p + 1) * n];
+            let drow = &mut dst[i * n..(i + 1) * n];
+            for j in 0..n {
+                drow[j] += a * rrow[j];
+            }
+        }
+    }
+}
+
+/// Returns the coordinates of the maximum element of a tensor.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_tensor::Tensor;
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(snappix_tensor::argmax_coords(&t), vec![0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn argmax_coords(t: &Tensor) -> Vec<usize> {
+    let mut best = f32::NEG_INFINITY;
+    let mut idx = 0usize;
+    for (i, &v) in t.as_slice().iter().enumerate() {
+        if v > best {
+            best = v;
+            idx = i;
+        }
+    }
+    unravel(idx, t.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::arange(9).reshape(&[3, 3]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_batched_3d() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]).unwrap();
+        let b = Tensor::arange(18).reshape(&[2, 3, 3]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 3]);
+        // Manually compute batch 0, row 0: [0,1,2] . cols of [[0,1,2],[3,4,5],[6,7,8]]
+        assert_eq!(c.get(&[0, 0, 0]).unwrap(), 15.0);
+        assert_eq!(c.get(&[0, 0, 1]).unwrap(), 18.0);
+    }
+
+    #[test]
+    fn matmul_3d_with_shared_rhs() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]).unwrap();
+        let w = Tensor::eye(3);
+        let c = a.matmul(&w).unwrap();
+        assert_eq!(c, a.reshape(&[2, 2, 3]).unwrap());
+    }
+
+    #[test]
+    fn matmul_rejects_mismatches() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[4, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+        let b3 = Tensor::zeros(&[2, 2, 3]);
+        assert!(b3.matmul(&Tensor::zeros(&[3, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::arange(3);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 17.0);
+        assert!(a.dot(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn global_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+        assert!((t.variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let s0 = t.sum_axis(0, false).unwrap();
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.as_slice(), &[3.0, 5.0, 7.0]);
+        let s1 = t.sum_axis(1, true).unwrap();
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.as_slice(), &[3.0, 12.0]);
+        let m1 = t.mean_axis(1, false).unwrap();
+        assert_eq!(m1.as_slice(), &[1.0, 4.0]);
+        assert!(t.sum_axis(2, false).is_err());
+    }
+
+    #[test]
+    fn argmax_axis_and_coords() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 2.0, 8.0, 0.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_axis(1).unwrap(), vec![1, 0]);
+        assert_eq!(t.argmax_axis(0).unwrap(), vec![1, 0, 1]);
+        assert_eq!(argmax_coords(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn concat_along_each_axis() {
+        let a = Tensor::arange(4).reshape(&[2, 2]).unwrap();
+        let b = Tensor::full(&[2, 2], 9.0);
+        let c0 = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape(), &[4, 2]);
+        assert_eq!(c0.get(&[2, 0]).unwrap(), 9.0);
+        let c1 = Tensor::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape(), &[2, 4]);
+        assert_eq!(c1.get(&[0, 2]).unwrap(), 9.0);
+        assert_eq!(c1.get(&[1, 1]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn concat_error_cases() {
+        let a = Tensor::zeros(&[2, 2]);
+        assert!(Tensor::concat(&[], 0).is_err());
+        assert!(Tensor::concat(&[&a], 2).is_err());
+        assert!(Tensor::concat(&[&a, &Tensor::zeros(&[2, 3])], 0).is_err());
+        assert!(Tensor::concat(&[&a, &Tensor::zeros(&[2])], 0).is_err());
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = Tensor::arange(3);
+        let b = Tensor::full(&[3], 1.0);
+        let s = Tensor::stack(&[&a, &b], 0).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        let s1 = Tensor::stack(&[&a, &b], 1).unwrap();
+        assert_eq!(s1.shape(), &[3, 2]);
+        assert!(Tensor::stack(&[&a, &Tensor::zeros(&[4])], 0).is_err());
+        assert!(Tensor::stack(&[], 0).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]).unwrap();
+        let s = t.softmax_last().unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = (0..3).map(|c| s.get(&[r, c]).unwrap()).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Large logits must not overflow.
+        assert!(s.get(&[1, 0]).unwrap().is_finite());
+        assert!(Tensor::scalar(1.0).softmax_last().is_err());
+    }
+
+    #[test]
+    fn patch_round_trip() {
+        let t = Tensor::arange(16).reshape(&[4, 4]).unwrap();
+        let p = t.extract_patches(2, 2).unwrap();
+        assert_eq!(p.shape(), &[4, 4]);
+        // Patch 0 is the top-left 2x2 block.
+        assert_eq!(p.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(p.get(&[0, 3]).unwrap(), 5.0);
+        let back = p.assemble_patches(2, 2, 4, 4).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn patch_error_cases() {
+        let t = Tensor::zeros(&[4, 4]);
+        assert!(t.extract_patches(3, 2).is_err());
+        assert!(t.extract_patches(0, 2).is_err());
+        assert!(Tensor::zeros(&[4]).extract_patches(2, 2).is_err());
+        let p = Tensor::zeros(&[4, 4]);
+        assert!(p.assemble_patches(2, 2, 4, 6).is_err());
+        assert!(p.assemble_patches(2, 2, 8, 8).is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let t = Tensor::arange(6).reshape(&[3, 2]).unwrap();
+        let g = t.gather_rows(&[2, 0, 2]).unwrap();
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.as_slice(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        assert!(t.gather_rows(&[3]).is_err());
+        assert!(Tensor::zeros(&[3]).gather_rows(&[0]).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Seeded random tensor construction.
+//!
+//! All stochastic behaviour in the SnapPix reproduction flows through
+//! explicitly seeded [`rand::rngs::StdRng`] values so experiments are
+//! bit-reproducible.
+
+use crate::Tensor;
+use rand::distr::{Distribution, Uniform};
+use rand::Rng;
+
+impl Tensor {
+    /// Creates a tensor of i.i.d. uniform samples in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
+        let dist = Uniform::new(lo, hi).expect("valid uniform bounds");
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
+        Tensor::from_vec(data, shape).expect("length matches shape by construction")
+    }
+
+    /// Creates a tensor of i.i.d. normal samples with the given mean and
+    /// standard deviation (Box–Muller transform; no extra dependency).
+    pub fn rand_normal<R: Rng + ?Sized>(
+        rng: &mut R,
+        shape: &[usize],
+        mean: f32,
+        std: f32,
+    ) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box-Muller: two uniforms -> two normals.
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape).expect("length matches shape by construction")
+    }
+
+    /// Creates a tensor of i.i.d. Bernoulli samples (`1.0` with probability
+    /// `p`, else `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn rand_bernoulli<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], p: f32) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n)
+            .map(|_| if rng.random::<f32>() < p { 1.0 } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, shape).expect("length matches shape by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_within_bounds_and_seed_reproducible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&mut rng, &[100], -1.0, 1.0);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = Tensor::rand_uniform(&mut rng2, &[100], -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::rand_normal(&mut rng, &[10_000], 2.0, 3.0);
+        assert!((t.mean() - 2.0).abs() < 0.1, "mean was {}", t.mean());
+        assert!(
+            (t.variance().sqrt() - 3.0).abs() < 0.15,
+            "std was {}",
+            t.variance().sqrt()
+        );
+    }
+
+    #[test]
+    fn normal_odd_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_normal(&mut rng, &[7], 0.0, 1.0);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn bernoulli_rate_and_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::rand_bernoulli(&mut rng, &[10_000], 0.3);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+        assert!((t.mean() - 0.3).abs() < 0.02, "rate was {}", t.mean());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Tensor::rand_bernoulli(&mut rng, &[50], 0.0).sum(), 0.0);
+        assert_eq!(Tensor::rand_bernoulli(&mut rng, &[50], 1.0).sum(), 50.0);
+    }
+}

@@ -1,0 +1,235 @@
+use crate::{Result, TensorError};
+
+/// A lightweight owned shape: the extent of each tensor axis in row-major
+/// order.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that centralizes the
+/// shape-algebra used throughout the crate (element counts, stride
+/// computation, broadcasting).
+///
+/// # Examples
+///
+/// ```
+/// use snappix_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Total number of elements (product of all extents; `1` for rank 0).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+/// Computes row-major (C-order) strides for `dims`.
+///
+/// The last axis always has stride 1; an empty `dims` yields an empty vector.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_tensor::strides_for;
+/// assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// assert_eq!(strides_for(&[]), Vec::<usize>::new());
+/// ```
+pub fn strides_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// Shapes are aligned at the trailing axes; each pair of extents must be
+/// equal or one of them must be `1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastError`] when any aligned pair of extents
+/// differs and neither is `1`.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_tensor::broadcast_shapes;
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3])?, vec![4, 2, 3]);
+/// assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+/// # Ok(())
+/// # }
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() {
+            1
+        } else {
+            lhs[i - (rank - lhs.len())]
+        };
+        let r = if i < rank - rhs.len() {
+            1
+        } else {
+            rhs[i - (rank - rhs.len())]
+        };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastError {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Converts a flat row-major index into per-axis coordinates.
+pub(crate) fn unravel(mut flat: usize, dims: &[usize]) -> Vec<usize> {
+    let strides = strides_for(dims);
+    let mut coords = vec![0usize; dims.len()];
+    for (i, &s) in strides.iter().enumerate() {
+        coords[i] = flat / s;
+        flat %= s;
+    }
+    coords
+}
+
+/// Maps output-space coordinates back into a flat index of a (possibly
+/// broadcast) operand with shape `dims`.
+pub(crate) fn broadcast_index(coords: &[usize], dims: &[usize]) -> usize {
+    let offset = coords.len() - dims.len();
+    let strides = strides_for(dims);
+    let mut idx = 0usize;
+    for (i, &d) in dims.iter().enumerate() {
+        let c = if d == 1 { 0 } else { coords[offset + i] };
+        idx += c * strides[i];
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_scalar_with_anything() {
+        assert_eq!(broadcast_shapes(&[], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 3], &[]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_ones_expand() {
+        assert_eq!(
+            broadcast_shapes(&[4, 1, 3], &[1, 2, 1]).unwrap(),
+            vec![4, 2, 3]
+        );
+    }
+
+    #[test]
+    fn broadcast_trailing_alignment() {
+        assert_eq!(broadcast_shapes(&[5, 4], &[4]).unwrap(), vec![5, 4]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let err = broadcast_shapes(&[2, 3], &[4]).unwrap_err();
+        assert!(matches!(err, TensorError::BroadcastError { .. }));
+    }
+
+    #[test]
+    fn unravel_round_trip() {
+        let dims = [3, 4, 5];
+        for flat in 0..60 {
+            let c = unravel(flat, &dims);
+            let strides = strides_for(&dims);
+            let back: usize = c.iter().zip(&strides).map(|(a, b)| a * b).sum();
+            assert_eq!(back, flat);
+        }
+    }
+
+    #[test]
+    fn broadcast_index_collapses_unit_axes() {
+        // operand shape [1, 3] broadcast into [2, 3]
+        assert_eq!(broadcast_index(&[1, 2], &[1, 3]), 2);
+        assert_eq!(broadcast_index(&[0, 1], &[1, 3]), 1);
+    }
+
+    #[test]
+    fn shape_basic_accessors() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.dims(), &[2, 3]);
+        let z = Shape::new(&[0, 4]);
+        assert!(z.is_empty());
+    }
+}

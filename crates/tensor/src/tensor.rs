@@ -1,0 +1,788 @@
+use crate::shape::{broadcast_index, strides_for, unravel};
+use crate::{broadcast_shapes, Result, TensorError};
+
+/// A dense, row-major, contiguous `f32` tensor.
+///
+/// `Tensor` is the numeric workhorse of the SnapPix reproduction. It stores
+/// its elements in a single `Vec<f32>` in C order and carries its shape as a
+/// `Vec<usize>`. All operations allocate fresh output tensors; in-place
+/// variants are provided where the training loops need them
+/// (e.g. [`Tensor::add_assign`]).
+///
+/// # Examples
+///
+/// ```
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// let video = Tensor::zeros(&[16, 32, 32]); // T x H x W
+/// assert_eq!(video.len(), 16 * 32 * 32);
+/// let frame = video.index_axis(0, 3)?;      // H x W
+/// assert_eq!(frame.shape(), &[32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: vec![],
+        }
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` differs from
+    /// the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.to_vec(),
+                got: data.len(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a 1-D tensor with values `0, 1, ..., n-1`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            data: (0..n).map(|i| i as f32).collect(),
+            shape: vec![n],
+        }
+    }
+
+    /// Creates a 1-D tensor of `n` evenly spaced values from `start` to
+    /// `stop` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn linspace(start: f32, stop: f32, n: usize) -> Self {
+        assert!(n > 0, "linspace requires n > 0");
+        if n == 1 {
+            return Tensor::from_vec(vec![start], &[1]).expect("shape matches");
+        }
+        let step = (stop - start) / (n - 1) as f32;
+        Tensor {
+            data: (0..n).map(|i| start + step * i as f32).collect(),
+            shape: vec![n],
+        }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Shape of the tensor as a slice of axis extents.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Elements as a flat row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Elements as a mutable flat row-major slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat element vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides of the tensor.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+
+    /// Reads the element at multi-axis `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, or
+    /// [`TensorError::IndexOutOfRange`] if any coordinate is out of bounds.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.flat_index(index)?])
+    }
+
+    /// Writes `value` at multi-axis `index`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::get`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// Returns the single element of a tensor with exactly one element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor has more than
+    /// one element.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::InvalidArgument {
+                context: format!("item() on tensor with {} elements", self.data.len()),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                got: index.len(),
+            });
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.shape).zip(&strides) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfRange { index: i, len: d });
+            }
+            flat += i * s;
+        }
+        Ok(flat)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.to_vec(),
+                got: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Flattens to a 1-D tensor.
+    pub fn flatten(&self) -> Self {
+        Tensor {
+            data: self.data.clone(),
+            shape: vec![self.data.len()],
+        }
+    }
+
+    /// Inserts a new axis of extent 1 at position `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis > rank`.
+    pub fn unsqueeze(&self, axis: usize) -> Result<Self> {
+        if axis > self.shape.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.shape.len(),
+            });
+        }
+        let mut shape = self.shape.clone();
+        shape.insert(axis, 1);
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Removes an axis of extent 1 at position `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`, or
+    /// [`TensorError::InvalidArgument`] if the axis extent is not 1.
+    pub fn squeeze(&self, axis: usize) -> Result<Self> {
+        if axis >= self.shape.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.shape.len(),
+            });
+        }
+        if self.shape[axis] != 1 {
+            return Err(TensorError::InvalidArgument {
+                context: format!(
+                    "cannot squeeze axis {axis} of extent {}",
+                    self.shape[axis]
+                ),
+            });
+        }
+        let mut shape = self.shape.clone();
+        shape.remove(axis);
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Permutes the axes: output axis `i` is input axis `perm[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] unless `perm` is a
+    /// permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        let rank = self.shape.len();
+        if perm.len() != rank {
+            return Err(TensorError::InvalidArgument {
+                context: format!("permutation {perm:?} does not match rank {rank}"),
+            });
+        }
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            if p >= rank || seen[p] {
+                return Err(TensorError::InvalidArgument {
+                    context: format!("{perm:?} is not a permutation of 0..{rank}"),
+                });
+            }
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = self.strides();
+        let mut out = Tensor::zeros(&out_shape);
+        let out_dims = out_shape.clone();
+        for flat in 0..out.data.len() {
+            let coords = unravel(flat, &out_dims);
+            let mut src = 0usize;
+            for (i, &p) in perm.iter().enumerate() {
+                src += coords[i] * in_strides[p];
+            }
+            out.data[flat] = self.data[src];
+        }
+        Ok(out)
+    }
+
+    /// Transposes the last two axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for tensors of rank < 2.
+    pub fn transpose(&self) -> Result<Self> {
+        let rank = self.shape.len();
+        if rank < 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: rank,
+            });
+        }
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.swap(rank - 1, rank - 2);
+        self.permute(&perm)
+    }
+
+    /// Materializes a broadcast of this tensor to `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastError`] if the shapes are not
+    /// broadcast-compatible or the broadcast would shrink the tensor.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Result<Self> {
+        let merged = broadcast_shapes(&self.shape, shape)?;
+        if merged != shape {
+            return Err(TensorError::BroadcastError {
+                lhs: self.shape.clone(),
+                rhs: shape.to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(shape);
+        for flat in 0..out.data.len() {
+            let coords = unravel(flat, shape);
+            out.data[flat] = self.data[broadcast_index(&coords, &self.shape)];
+        }
+        Ok(out)
+    }
+
+    /// Selects index `index` along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] or
+    /// [`TensorError::IndexOutOfRange`] on bad arguments.
+    pub fn index_axis(&self, axis: usize, index: usize) -> Result<Self> {
+        let picked = self.slice_axis(axis, index, index + 1)?;
+        picked.squeeze(axis)
+    }
+
+    /// Slices `[start, end)` along `axis`, keeping the axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`, or
+    /// [`TensorError::IndexOutOfRange`] if `start > end` or
+    /// `end > shape[axis]`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Result<Self> {
+        let rank = self.shape.len();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        if start > end || end > self.shape[axis] {
+            return Err(TensorError::IndexOutOfRange {
+                index: end,
+                len: self.shape[axis],
+            });
+        }
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = end - start;
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_shape.iter().product());
+        for o in 0..outer {
+            let base = o * self.shape[axis] * inner;
+            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+        }
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise operations
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors elementwise with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastError`] if the shapes are not
+    /// broadcast-compatible.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Ok(Tensor {
+                data,
+                shape: self.shape.clone(),
+            });
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)?;
+        let mut out = Tensor::zeros(&out_shape);
+        for flat in 0..out.data.len() {
+            let coords = unravel(flat, &out_shape);
+            let a = self.data[broadcast_index(&coords, &self.shape)];
+            let b = other.data[broadcast_index(&coords, &other.shape)];
+            out.data[flat] = f(a, b);
+        }
+        Ok(out)
+    }
+
+    /// Elementwise sum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip_with`].
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip_with`].
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise product with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip_with`].
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip_with`].
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::zip_with`].
+    pub fn maximum(&self, other: &Tensor) -> Result<Self> {
+        self.zip_with(other, f32::max)
+    }
+
+    /// Adds `other` into `self` in place; shapes must match exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                context: format!(
+                    "add_assign shapes {:?} vs {:?}",
+                    self.shape, other.shape
+                ),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Self {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Elementwise integer power.
+    pub fn powi(&self, n: i32) -> Self {
+        self.map(|x| x.powi(n))
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tol` (and the shapes match).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?} ", self.shape)?;
+        const MAX: usize = 16;
+        if self.data.len() <= MAX {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "{:?}... ({} elements)", &self.data[..MAX], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_shapes() {
+        assert_eq!(Tensor::zeros(&[2, 3]).len(), 6);
+        assert_eq!(Tensor::ones(&[4]).as_slice(), &[1.0; 4]);
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Tensor::scalar(3.0).rank(), 0);
+        assert_eq!(Tensor::arange(4).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(t.as_slice(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(Tensor::linspace(2.0, 9.0, 1).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(i.get(&[1, 2]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Tensor::from_vec(vec![1.0, 2.0], &[3]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 9.0);
+        assert_eq!(t.as_slice()[5], 9.0);
+    }
+
+    #[test]
+    fn get_rejects_bad_indices() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            t.get(&[2, 0]),
+            Err(TensorError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(t.get(&[0]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert_eq!(Tensor::scalar(5.0).item().unwrap(), 5.0);
+        assert!(Tensor::zeros(&[2]).item().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_round_trip() {
+        let t = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let u = t.unsqueeze(1).unwrap();
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        let s = u.squeeze(1).unwrap();
+        assert_eq!(s.shape(), &[2, 3]);
+        assert!(u.squeeze(0).is_err());
+    }
+
+    #[test]
+    fn permute_transposes_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let p = t.permute(&[1, 0]).unwrap();
+        assert_eq!(p.shape(), &[3, 2]);
+        assert_eq!(p.get(&[0, 1]).unwrap(), 3.0);
+        assert_eq!(p.get(&[2, 0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn permute_rejects_non_permutation() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+        assert!(t.permute(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_last_two() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.shape(), &[2, 4, 3]);
+        assert_eq!(tt.get(&[1, 2, 1]).unwrap(), t.get(&[1, 1, 2]).unwrap());
+        assert!(Tensor::arange(3).transpose().is_err());
+    }
+
+    #[test]
+    fn broadcast_to_expands_unit_axes() {
+        let row = Tensor::arange(3).reshape(&[1, 3]).unwrap();
+        let b = row.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 2.0, 0.0, 1.0, 2.0]);
+        assert!(Tensor::zeros(&[2, 3]).broadcast_to(&[3]).is_err());
+    }
+
+    #[test]
+    fn slice_and_index_axis() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]).unwrap();
+        let s = t.slice_axis(1, 1, 3).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 4]);
+        assert_eq!(s.get(&[0, 0, 0]).unwrap(), 4.0);
+        let i = t.index_axis(0, 1).unwrap();
+        assert_eq!(i.shape(), &[3, 4]);
+        assert_eq!(i.get(&[0, 0]).unwrap(), 12.0);
+        assert!(t.slice_axis(3, 0, 1).is_err());
+        assert!(t.slice_axis(1, 2, 5).is_err());
+    }
+
+    #[test]
+    fn elementwise_same_shape() {
+        let a = Tensor::arange(4);
+        let b = Tensor::full(&[4], 2.0);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -1.0, 0.0, 1.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(a.div(&b).unwrap().as_slice(), &[0.0, 0.5, 1.0, 1.5]);
+        assert_eq!(a.maximum(&b).unwrap().as_slice(), &[2.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn elementwise_broadcast() {
+        let a = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let col = Tensor::from_vec(vec![10.0, 20.0], &[2, 1]).unwrap();
+        let r = a.add(&col).unwrap();
+        assert_eq!(r.as_slice(), &[10.0, 11.0, 12.0, 23.0, 24.0, 25.0]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = Tensor::arange(4);
+        let b = Tensor::full(&[4], 1.0);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let mut c = Tensor::zeros(&[2]);
+        assert!(c.add_assign(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn unary_helpers() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0], &[2]).unwrap();
+        assert_eq!(t.neg().as_slice(), &[1.0, -4.0]);
+        assert_eq!(t.abs().as_slice(), &[1.0, 4.0]);
+        assert_eq!(t.scale(2.0).as_slice(), &[-2.0, 8.0]);
+        assert_eq!(t.add_scalar(1.0).as_slice(), &[0.0, 5.0]);
+        assert_eq!(t.clamp(0.0, 2.0).as_slice(), &[0.0, 2.0]);
+        assert_eq!(t.powi(2).as_slice(), &[1.0, 16.0]);
+        assert!((t.abs().sqrt().as_slice()[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::full(&[3], 1.0);
+        let b = Tensor::full(&[3], 1.0 + 1e-7);
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&Tensor::full(&[2], 1.0), 1.0));
+    }
+
+    #[test]
+    fn display_truncates_large_tensors() {
+        let small = Tensor::arange(3);
+        assert!(!format!("{small}").contains("elements"));
+        let large = Tensor::zeros(&[100]);
+        assert!(format!("{large}").contains("100 elements"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use snappix_tensor::{broadcast_shapes, Tensor};
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-100.0f32..100.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape).expect("matching length"))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(shape in small_shape()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let a = tensor_with_shape(shape.clone()).new_tree(&mut runner).unwrap().current();
+        let b = tensor_with_shape(shape).new_tree(&mut runner).unwrap().current();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-5));
+    }
+
+    #[test]
+    fn sub_then_add_is_identity(shape in small_shape()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let a = tensor_with_shape(shape.clone()).new_tree(&mut runner).unwrap().current();
+        let b = tensor_with_shape(shape).new_tree(&mut runner).unwrap().current();
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(shape in small_shape()) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let a = tensor_with_shape(shape).new_tree(&mut runner).unwrap().current();
+        let flat = a.flatten();
+        prop_assert_eq!(a.sum(), flat.sum());
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..5, c in 1usize..5) {
+        let t = Tensor::arange(r * c).reshape(&[r, c]).unwrap();
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(tt, t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let c = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn broadcast_is_commutative_in_shape(a in small_shape(), b in small_shape()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast compatibility must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn sum_axis_total_matches_global_sum(shape in small_shape(), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &shape, -10.0, 10.0);
+        for axis in 0..shape.len() {
+            let s = t.sum_axis(axis, false).unwrap();
+            prop_assert!((s.sum() - t.sum()).abs() < 1e-2,
+                "axis {} sum {} vs {}", axis, s.sum(), t.sum());
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(r in 1usize..5, c in 1usize..6, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[r, c], -5.0, 5.0);
+        let s = t.softmax_last().unwrap();
+        for row in 0..r {
+            let total: f32 = (0..c).map(|j| s.get(&[row, j]).unwrap()).sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(s.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn patch_round_trip_any_divisible(gh in 1usize..4, gw in 1usize..4, ph in 1usize..4, pw in 1usize..4) {
+        let (h, w) = (gh * ph, gw * pw);
+        let t = Tensor::arange(h * w).reshape(&[h, w]).unwrap();
+        let p = t.extract_patches(ph, pw).unwrap();
+        let back = p.assemble_patches(ph, pw, h, w).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_parts(rows_a in 1usize..4, rows_b in 1usize..4, cols in 1usize..4) {
+        let a = Tensor::arange(rows_a * cols).reshape(&[rows_a, cols]).unwrap();
+        let b = Tensor::full(&[rows_b, cols], -1.0);
+        let c = Tensor::concat(&[&a, &b], 0).unwrap();
+        let a_back = c.slice_axis(0, 0, rows_a).unwrap();
+        let b_back = c.slice_axis(0, rows_a, rows_a + rows_b).unwrap();
+        prop_assert_eq!(a_back, a);
+        prop_assert_eq!(b_back, b);
+    }
+}

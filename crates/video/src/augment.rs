@@ -1,0 +1,140 @@
+//! Clip augmentations.
+//!
+//! The paper's training recipe counts epochs as "repeated augmentations x
+//! epochs" (Sec. VI-A); these are the augmentations the harness applies:
+//! horizontal flips, brightness jitter in linear light, and temporal
+//! reversal for classes where it yields a valid clip.
+
+use crate::Video;
+use rand::Rng;
+use snappix_tensor::{Tensor, TensorError};
+
+/// Horizontally mirrors every frame.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_video::{augment, Video};
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// let v = Video::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2])?)?;
+/// let f = augment::flip_horizontal(&v);
+/// assert_eq!(f.frames().as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn flip_horizontal(video: &Video) -> Video {
+    let (t, h, w) = (video.num_frames(), video.height(), video.width());
+    let mut out = Tensor::zeros(&[t, h, w]);
+    let src = video.frames().as_slice();
+    let dst = out.as_mut_slice();
+    for f in 0..t {
+        for y in 0..h {
+            for x in 0..w {
+                dst[(f * h + y) * w + x] = src[(f * h + y) * w + (w - 1 - x)];
+            }
+        }
+    }
+    Video::new(out).expect("same rank by construction")
+}
+
+/// Reverses the frame order (time reversal).
+pub fn reverse_time(video: &Video) -> Video {
+    let t = video.num_frames();
+    let mut frames = Vec::with_capacity(t);
+    for f in (0..t).rev() {
+        frames.push(video.frame(f).expect("index within clip"));
+    }
+    let refs: Vec<&Tensor> = frames.iter().collect();
+    Video::new(Tensor::stack(&refs, 0).expect("uniform shapes")).expect("rank 3")
+}
+
+/// Scales intensities by `gain` (linear light) and clamps to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a non-positive gain.
+pub fn brightness(video: &Video, gain: f32) -> Result<Video, TensorError> {
+    if gain <= 0.0 || !gain.is_finite() {
+        return Err(TensorError::InvalidArgument {
+            context: format!("brightness gain {gain} must be positive"),
+        });
+    }
+    Video::new(video.frames().scale(gain).clamp(0.0, 1.0))
+}
+
+/// Randomly composes the augmentations: each is applied independently
+/// with probability 1/2 (brightness gain drawn from `[0.8, 1.2]`).
+pub fn random_augment<R: Rng + ?Sized>(video: &Video, rng: &mut R) -> Video {
+    let mut v = video.clone();
+    if rng.random::<f32>() < 0.5 {
+        v = flip_horizontal(&v);
+    }
+    if rng.random::<f32>() < 0.5 {
+        let gain = rng.random_range(0.8..1.2);
+        v = brightness(&v, gain).expect("gain in valid range");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn clip() -> Video {
+        Video::new(Tensor::arange(2 * 2 * 3).reshape(&[2, 2, 3]).unwrap().scale(0.05)).unwrap()
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let v = clip();
+        assert_eq!(flip_horizontal(&flip_horizontal(&v)), v);
+        assert_ne!(flip_horizontal(&v), v);
+    }
+
+    #[test]
+    fn reverse_is_involution_and_swaps_ends() {
+        let v = clip();
+        let r = reverse_time(&v);
+        assert_eq!(reverse_time(&r), v);
+        assert_eq!(r.frame(0).unwrap(), v.frame(1).unwrap());
+    }
+
+    #[test]
+    fn brightness_scales_and_clamps() {
+        let v = clip();
+        let b = brightness(&v, 2.0).unwrap();
+        assert!(b.frames().max() <= 1.0);
+        assert!(b.frames().mean() > v.frames().mean());
+        assert!(brightness(&v, 0.0).is_err());
+        assert!(brightness(&v, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn flip_preserves_energy() {
+        let v = clip();
+        let f = flip_horizontal(&v);
+        assert!((f.frames().sum() - v.frames().sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_augment_is_seed_deterministic() {
+        let v = clip();
+        let a = random_augment(&v, &mut StdRng::seed_from_u64(3));
+        let b = random_augment(&v, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_augment_stays_in_unit_range() {
+        let v = clip();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let a = random_augment(&v, &mut rng);
+            assert!(a.frames().min() >= 0.0);
+            assert!(a.frames().max() <= 1.0);
+        }
+    }
+}

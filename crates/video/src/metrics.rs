@@ -1,0 +1,79 @@
+//! Quality metrics.
+
+use snappix_tensor::{Tensor, TensorError};
+
+/// Peak signal-to-noise ratio in decibels between a reference and a
+/// reconstruction, assuming a peak signal of 1.0 (linear-light videos in
+/// `[0, 1]`).
+///
+/// This is the paper's reconstruction metric (REC task, Sec. VI-A).
+/// Identical inputs return `f32::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_video::psnr;
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// let a = Tensor::full(&[4, 4], 0.5);
+/// let b = Tensor::full(&[4, 4], 0.6);
+/// let db = psnr(&a, &b)?;
+/// assert!((db - 20.0).abs() < 0.01); // MSE 0.01 -> 20 dB
+/// # Ok(())
+/// # }
+/// ```
+pub fn psnr(reference: &Tensor, reconstruction: &Tensor) -> Result<f32, TensorError> {
+    if reference.shape() != reconstruction.shape() {
+        return Err(TensorError::IncompatibleShapes {
+            context: format!(
+                "psnr of {:?} vs {:?}",
+                reference.shape(),
+                reconstruction.shape()
+            ),
+        });
+    }
+    let diff = reference.sub(reconstruction)?;
+    let mse = diff.mul(&diff)?.mean();
+    if mse <= 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(-10.0 * mse.log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_infinite() {
+        let a = Tensor::full(&[3, 3], 0.25);
+        assert_eq!(psnr(&a, &a).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn known_mse_values() {
+        let a = Tensor::zeros(&[10]);
+        let b = Tensor::full(&[10], 0.1); // MSE = 0.01 -> 20 dB
+        assert!((psnr(&a, &b).unwrap() - 20.0).abs() < 1e-4);
+        let c = Tensor::full(&[10], 1.0); // MSE = 1 -> 0 dB
+        assert!(psnr(&a, &c).unwrap().abs() < 1e-4);
+    }
+
+    #[test]
+    fn better_reconstruction_scores_higher() {
+        let reference = Tensor::linspace(0.0, 1.0, 100);
+        let close = reference.add_scalar(0.01);
+        let far = reference.add_scalar(0.2);
+        assert!(psnr(&reference, &close).unwrap() > psnr(&reference, &far).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(psnr(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Scene rendering: correlated backgrounds plus moving sprites.
+
+use crate::{ActionClass, Video};
+use rand::Rng;
+use snappix_tensor::Tensor;
+
+/// Parameters of one rendered scene.
+///
+/// Produced by [`crate::Dataset`] from its [`crate::DatasetConfig`]; exposed
+/// publicly so tests and examples can render bespoke scenes.
+#[derive(Debug, Clone)]
+pub struct SceneParams {
+    /// Number of frames.
+    pub frames: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Action performed by the foreground sprites.
+    pub action: ActionClass,
+    /// Number of foreground sprites.
+    pub num_sprites: usize,
+    /// Motion amplitude in pixels over the clip.
+    pub motion_amplitude: f32,
+    /// Background spatial frequency content (number of cosine components).
+    pub background_components: usize,
+    /// Standard deviation of per-pixel sensor-independent noise.
+    pub noise_std: f32,
+}
+
+/// Renders a scene into a [`Video`] using randomness from `rng`.
+///
+/// The background is a low-frequency random cosine field (spatially
+/// correlated, static over the clip); the foreground is `num_sprites` soft
+/// disks/squares following the action trajectory with per-sprite phase
+/// offsets; optional i.i.d. noise is added per pixel per frame. All values
+/// are clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if any spatial extent is zero.
+pub fn render_scene<R: Rng + ?Sized>(params: &SceneParams, rng: &mut R) -> Video {
+    assert!(
+        params.frames > 0 && params.height > 0 && params.width > 0,
+        "scene extents must be positive"
+    );
+    let (t, h, w) = (params.frames, params.height, params.width);
+
+    // Static, spatially correlated background.
+    let mut background = vec![0.5f32; h * w];
+    for _ in 0..params.background_components {
+        let amp: f32 = rng.random_range(0.02..0.10);
+        let fx: f32 = rng.random_range(0.2..2.0) * std::f32::consts::TAU / w as f32;
+        let fy: f32 = rng.random_range(0.2..2.0) * std::f32::consts::TAU / h as f32;
+        let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+        for y in 0..h {
+            for x in 0..w {
+                background[y * w + x] += amp * (fx * x as f32 + fy * y as f32 + phase).cos();
+            }
+        }
+    }
+
+    // Sprite definitions.
+    struct Sprite {
+        cx: f32,
+        cy: f32,
+        radius: f32,
+        intensity: f32,
+        square: bool,
+        phase: f32,
+    }
+    let sprites: Vec<Sprite> = (0..params.num_sprites.max(1))
+        .map(|_| Sprite {
+            cx: rng.random_range(0.25..0.75) * w as f32,
+            cy: rng.random_range(0.25..0.75) * h as f32,
+            radius: rng.random_range(0.08..0.18) * h.min(w) as f32,
+            intensity: rng.random_range(0.35..0.5),
+            square: rng.random_range(0.0..1.0f32) < 0.4,
+            phase: rng.random_range(0.0..0.15),
+        })
+        .collect();
+
+    let mut out = Tensor::zeros(&[t, h, w]);
+    let data = out.as_mut_slice();
+    for f in 0..t {
+        let tau = if t > 1 { f as f32 / (t - 1) as f32 } else { 0.0 };
+        let frame = &mut data[f * h * w..(f + 1) * h * w];
+        frame.copy_from_slice(&background);
+        for s in &sprites {
+            let (dx, dy, size, gain) = params
+                .action
+                .pose((tau + s.phase).min(1.0), params.motion_amplitude);
+            let (cx, cy) = (s.cx + dx, s.cy + dy);
+            let r = (s.radius * size).max(0.5);
+            // Soft-edged sprite: ~1 inside, smooth roll-off over one pixel.
+            let y_lo = (cy - r - 1.5).floor().max(0.0) as usize;
+            let y_hi = ((cy + r + 1.5).ceil() as usize).min(h);
+            let x_lo = (cx - r - 1.5).floor().max(0.0) as usize;
+            let x_hi = ((cx + r + 1.5).ceil() as usize).min(w);
+            for y in y_lo..y_hi {
+                for x in x_lo..x_hi {
+                    let (px, py) = (x as f32 + 0.5 - cx, y as f32 + 0.5 - cy);
+                    let dist = if s.square {
+                        px.abs().max(py.abs())
+                    } else {
+                        (px * px + py * py).sqrt()
+                    };
+                    let coverage = (r - dist + 0.5).clamp(0.0, 1.0);
+                    frame[y * w + x] += s.intensity * gain * coverage;
+                }
+            }
+        }
+        if params.noise_std > 0.0 {
+            for v in frame.iter_mut() {
+                // Box-Muller single sample.
+                let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.random_range(0.0..1.0);
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                *v += params.noise_std * n;
+            }
+        }
+        for v in frame.iter_mut() {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+    Video::new(out).expect("rank-3 by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn base_params(action: ActionClass) -> SceneParams {
+        SceneParams {
+            frames: 8,
+            height: 24,
+            width: 24,
+            action,
+            num_sprites: 2,
+            motion_amplitude: 10.0,
+            background_components: 6,
+            noise_std: 0.0,
+        }
+    }
+
+    #[test]
+    fn output_is_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = render_scene(&base_params(ActionClass::TranslateRight), &mut rng);
+        assert!(v
+            .frames()
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = render_scene(
+            &base_params(ActionClass::Oscillate),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = render_scene(
+            &base_params(ActionClass::Oscillate),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn motion_classes_change_over_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = render_scene(&base_params(ActionClass::TranslateRight), &mut rng);
+        let first = v.frame(0).unwrap();
+        let last = v.frame(7).unwrap();
+        let diff = first.sub(&last).unwrap().abs().mean();
+        assert!(diff > 1e-3, "translation must move pixels, diff {diff}");
+    }
+
+    #[test]
+    fn background_is_static_without_sprites_or_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = base_params(ActionClass::Flicker);
+        p.num_sprites = 1;
+        p.motion_amplitude = 0.0;
+        let v = render_scene(&p, &mut rng);
+        // Far corner away from centered sprites should be identical across
+        // frames (background only).
+        let a = v.frames().get(&[0, 0, 0]).unwrap();
+        let b = v.frames().get(&[7, 0, 0]).unwrap();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_is_spatially_correlated() {
+        // Neighboring pixels must be closer on average than distant ones —
+        // the redundancy the decorrelation objective exploits.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = base_params(ActionClass::Flicker);
+        p.num_sprites = 0;
+        p.background_components = 8;
+        let v = render_scene(&p, &mut rng);
+        let f = v.frame(0).unwrap();
+        let (h, w) = (f.shape()[0], f.shape()[1]);
+        let mut near = 0.0f32;
+        let mut far = 0.0f32;
+        let mut count = 0usize;
+        for y in 0..h {
+            for x in 0..w - 8 {
+                let a = f.get(&[y, x]).unwrap();
+                near += (a - f.get(&[y, x + 1]).unwrap()).abs();
+                far += (a - f.get(&[y, x + 8]).unwrap()).abs();
+                count += 1;
+            }
+        }
+        assert!(
+            near / count as f32 * 1.5 < far / count as f32,
+            "near diff {near} vs far diff {far}"
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_frames() {
+        let mut p = base_params(ActionClass::Flicker);
+        p.noise_std = 0.05;
+        let a = render_scene(&p, &mut StdRng::seed_from_u64(4));
+        p.noise_std = 0.0;
+        let b = render_scene(&p, &mut StdRng::seed_from_u64(4));
+        assert!(!a.frames().approx_eq(b.frames(), 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let mut p = base_params(ActionClass::Flicker);
+        p.width = 0;
+        let _ = render_scene(&p, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,167 @@
+//! The video container type.
+
+use snappix_tensor::{Tensor, TensorError};
+
+/// A grayscale video clip in linear light: a `[t, h, w]` tensor with values
+/// in `[0, 1]`.
+///
+/// The paper converts all datasets to grayscale in linear space before
+/// simulating coded exposure (Sec. VI-A); this type is the in-memory
+/// equivalent of one such clip.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_video::Video;
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_tensor::TensorError> {
+/// let v = Video::new(Tensor::zeros(&[16, 32, 32]))?;
+/// assert_eq!(v.num_frames(), 16);
+/// assert_eq!(v.height(), 32);
+/// assert_eq!(v.width(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Video {
+    frames: Tensor,
+}
+
+impl Video {
+    /// Wraps a `[t, h, w]` tensor as a video.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-3 tensors.
+    pub fn new(frames: Tensor) -> Result<Self, TensorError> {
+        if frames.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: frames.rank(),
+            });
+        }
+        Ok(Video { frames })
+    }
+
+    /// The underlying `[t, h, w]` tensor.
+    pub fn frames(&self) -> &Tensor {
+        &self.frames
+    }
+
+    /// Consumes the video, returning the frame tensor.
+    pub fn into_frames(self) -> Tensor {
+        self.frames
+    }
+
+    /// Number of frames `t`.
+    pub fn num_frames(&self) -> usize {
+        self.frames.shape()[0]
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> usize {
+        self.frames.shape()[1]
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> usize {
+        self.frames.shape()[2]
+    }
+
+    /// One frame as an `[h, w]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfRange`] for a bad index.
+    pub fn frame(&self, t: usize) -> Result<Tensor, TensorError> {
+        self.frames.index_axis(0, t)
+    }
+
+    /// Temporal average of all frames (`[h, w]`), i.e. what a full-length
+    /// conventional exposure would capture up to normalization.
+    pub fn temporal_mean(&self) -> Tensor {
+        self.frames
+            .mean_axis(0, false)
+            .expect("rank-3 invariant guarantees axis 0 exists")
+    }
+
+    /// Spatially downsamples every frame by `factor x factor` average
+    /// pooling — the paper's "simple compression baseline" (Sec. VI-D)
+    /// downsamples 4x4 to match SnapPix's 16x rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the frame extents are
+    /// not divisible by `factor`.
+    pub fn spatial_downsample(&self, factor: usize) -> Result<Video, TensorError> {
+        let (t, h, w) = (self.num_frames(), self.height(), self.width());
+        if factor == 0 || h % factor != 0 || w % factor != 0 {
+            return Err(TensorError::InvalidArgument {
+                context: format!("factor {factor} does not divide {h}x{w}"),
+            });
+        }
+        let (oh, ow) = (h / factor, w / factor);
+        let mut out = Tensor::zeros(&[t, oh, ow]);
+        let src = self.frames.as_slice();
+        let dst = out.as_mut_slice();
+        let norm = 1.0 / (factor * factor) as f32;
+        for f in 0..t {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..factor {
+                        for dx in 0..factor {
+                            acc += src[(f * h + oy * factor + dy) * w + ox * factor + dx];
+                        }
+                    }
+                    dst[(f * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+        Video::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_wrong_rank() {
+        assert!(Video::new(Tensor::zeros(&[4, 4])).is_err());
+        assert!(Video::new(Tensor::zeros(&[2, 4, 4])).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Video::new(Tensor::arange(2 * 3 * 4).reshape(&[2, 3, 4]).unwrap()).unwrap();
+        assert_eq!(v.num_frames(), 2);
+        assert_eq!(v.height(), 3);
+        assert_eq!(v.width(), 4);
+        let f1 = v.frame(1).unwrap();
+        assert_eq!(f1.shape(), &[3, 4]);
+        assert_eq!(f1.get(&[0, 0]).unwrap(), 12.0);
+        assert!(v.frame(2).is_err());
+        assert_eq!(v.clone().into_frames().len(), 24);
+    }
+
+    #[test]
+    fn temporal_mean_averages_frames() {
+        let f0 = Tensor::zeros(&[2, 2]);
+        let f1 = Tensor::full(&[2, 2], 2.0);
+        let frames = Tensor::stack(&[&f0, &f1], 0).unwrap();
+        let v = Video::new(frames).unwrap();
+        assert_eq!(v.temporal_mean().as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let frame = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 2, 2]).unwrap();
+        let v = Video::new(frame).unwrap();
+        let d = v.spatial_downsample(2).unwrap();
+        assert_eq!(d.frames().as_slice(), &[1.5]);
+        assert!(v.spatial_downsample(3).is_err());
+        assert!(v.spatial_downsample(0).is_err());
+    }
+}

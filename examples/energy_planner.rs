@@ -1,0 +1,88 @@
+//! Edge-deployment energy planner: reproduces the Sec. VI-D analysis and
+//! sweeps the design space (slots, links, CE overhead).
+//!
+//! Run with: `cargo run --release --example energy_planner`
+
+use snappix::prelude::*;
+use snappix_energy::{EdgeGpuScenario, GpuModelClass, JetsonXavierModel};
+
+fn main() {
+    let model = EnergyModel::paper();
+    let pixels = 112 * 112;
+
+    println!("== edge-server scenarios (paper Sec. VI-D) ==");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10}",
+        "link", "conv (uJ)", "snappix (uJ)", "saving"
+    );
+    for (name, wireless) in [
+        ("passive WiFi (~10m)", Wireless::PassiveWifi),
+        ("LoRa backscatter", Wireless::LoraBackscatter),
+    ] {
+        let s = Scenario {
+            frame_pixels: pixels,
+            slots: 16,
+            wireless,
+        };
+        let conv = model.conventional_energy(&s).total_pj() / 1e6;
+        let snap = model.snappix_energy(&s).total_pj() / 1e6;
+        println!(
+            "{name:<22} {conv:>12.1} {snap:>14.1} {:>9.1}x",
+            model.edge_energy_saving(&s)
+        );
+    }
+
+    println!("\n== saving vs number of exposure slots (passive WiFi) ==");
+    for slots in [2usize, 4, 8, 16, 32, 64] {
+        let s = Scenario {
+            frame_pixels: pixels,
+            slots,
+            wireless: Wireless::PassiveWifi,
+        };
+        println!("T = {slots:>3}: {:>5.1}x", model.edge_energy_saving(&s));
+    }
+
+    println!("\n== edge-GPU scenario (Jetson-Xavier-class) ==");
+    let gpu = EdgeGpuScenario {
+        sensing: Scenario {
+            frame_pixels: pixels,
+            slots: 16,
+            wireless: Wireless::PassiveWifi,
+        },
+        gpu: JetsonXavierModel::paper(),
+    };
+    for (name, class) in [
+        ("SnapPix-S", GpuModelClass::SnapPixS),
+        ("SnapPix-B", GpuModelClass::SnapPixB),
+        ("VideoMAEv2-ST", GpuModelClass::VideoMaeSt),
+        ("C3D", GpuModelClass::C3d),
+    ] {
+        println!(
+            "{name:<16} {:>8.1} mJ/inference",
+            gpu.total_pj(&model, class) / 1e9
+        );
+    }
+    println!(
+        "SnapPix-S saving: {:.1}x vs VideoMAEv2-ST, {:.1}x vs C3D \
+         (paper: 1.4x, 4.5x)",
+        gpu.saving(&model, GpuModelClass::SnapPixS, GpuModelClass::VideoMaeSt),
+        gpu.saving(&model, GpuModelClass::SnapPixS, GpuModelClass::C3d),
+    );
+
+    println!("\n== sensitivity: CE overhead per pixel-slot ==");
+    for overhead in [0.0f64, 4.5, 9.0, 18.0, 36.0] {
+        let custom = EnergyModel {
+            ce_overhead_pj_per_pixel_slot: overhead,
+            ..EnergyModel::paper()
+        };
+        let s = Scenario {
+            frame_pixels: pixels,
+            slots: 16,
+            wireless: Wireless::PassiveWifi,
+        };
+        println!(
+            "{overhead:>5.1} pJ/px/slot -> saving {:>5.2}x",
+            custom.edge_energy_saving(&s)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Workspace integration test: the full SnapPix pipeline from mask
+//! learning through deployment on the simulated sensor hardware.
+
+use snappix::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const T: usize = 8;
+const HW: usize = 24;
+const CLASSES: usize = 8;
+
+static SHARED: OnceLock<(Mutex<SnapPixSystem>, Dataset)> = OnceLock::new();
+
+/// Trains the full pipeline once and shares it across the tests in this
+/// file (training is the expensive part; the tests probe different
+/// properties of the same deployed system).
+fn trained_system() -> (MutexGuard<'static, SnapPixSystem>, &'static Dataset) {
+    let (system, test) = SHARED.get_or_init(|| {
+        let data = Dataset::new(ucf101_like(T, HW, HW), 120);
+        let (train, test) = data.split(0.8);
+
+        // Stage 1: task-agnostic mask learning by decorrelation.
+        let mut trainer = DecorrelationTrainer::new(DecorrelationConfig {
+            slots: T,
+            tile: (8, 8),
+            batch_size: 6,
+            ..DecorrelationConfig::default()
+        })
+        .expect("valid config");
+        let learned = trainer.train(&train, 20).expect("mask training");
+        assert!(learned.mask.open_fraction() > 0.0, "mask must not collapse");
+
+        // Stage 2: task training on coded images.
+        let mut model = SnapPixAr::new(
+            VitConfig::snappix_s(HW, HW, CLASSES),
+            learned.mask.clone(),
+        )
+        .expect("tile matches patch");
+        train_action_model(&mut model, &train, &TrainOptions::experiment(12))
+            .expect("training");
+
+        // Stage 3: deployment with a noiseless readout (so hardware and
+        // algorithmic paths can be compared exactly).
+        let system = SnapPixSystem::new(model, ReadoutConfig::noiseless(12, T as f32))
+            .expect("system assembly");
+        (Mutex::new(system), test)
+    });
+    (system.lock().expect("no poisoned lock"), test)
+}
+
+#[test]
+fn full_pipeline_classifies_above_chance() {
+    let (mut system, test) = trained_system();
+    let system = &mut *system;
+    let mut correct = 0usize;
+    for i in 0..test.len() {
+        let sample = test.sample(i);
+        let predicted = system.classify(sample.video.frames()).expect("classify");
+        if predicted == sample.label {
+            correct += 1;
+        }
+    }
+    let acc = 100.0 * correct as f32 / test.len() as f32;
+    let chance = 100.0 / CLASSES as f32;
+    assert!(
+        acc > chance + 5.0,
+        "hardware-path accuracy {acc:.1}% should beat chance {chance:.1}%"
+    );
+}
+
+#[test]
+fn hardware_and_algorithmic_paths_agree() {
+    let (mut system, test) = trained_system();
+    let system = &mut *system;
+    let sample = test.sample(0);
+    let video = sample.video.frames();
+
+    // Hardware path: charge-domain sensor sim + 12-bit noiseless ADC.
+    let hw_logits = system.logits(video).expect("hardware path");
+
+    // Algorithmic path: Eqn. 1 encoder.
+    let batch = video.reshape(&[1, T, HW, HW]).expect("singleton batch");
+    let coded = system.model().compress(&batch).expect("compress");
+    let mut sess = snappix_nn::Session::inference(system.model().store());
+    let sw_var = system
+        .model()
+        .build_logits_from_coded(&mut sess, &coded)
+        .expect("model forward");
+    let sw_logits = sess.graph.value(sw_var).clone();
+
+    // The only difference is ADC quantization; logits must be close and
+    // the argmax identical.
+    assert_eq!(
+        snappix_tensor::argmax_coords(&hw_logits),
+        snappix_tensor::argmax_coords(&sw_logits),
+        "hardware and algorithmic paths must agree on the class"
+    );
+    assert!(
+        hw_logits.approx_eq(&sw_logits, 0.35),
+        "logit gap exceeds quantization tolerance:\nhw {hw_logits}\nsw {sw_logits}"
+    );
+}
+
+#[test]
+fn capture_stats_match_protocol_accounting() {
+    let (mut system, test) = trained_system();
+    let system = &mut *system;
+    let sample = test.sample(0);
+    system.classify(sample.video.frames()).expect("classify");
+    let stats = system.last_capture_stats();
+    // Two pattern streams per slot, 64 pattern-clock cycles per stream
+    // (8x8 tile).
+    assert_eq!(stats.pattern_clock_cycles, (2 * T * 64) as u64);
+    assert_eq!(stats.exposure_slots, T as u64);
+    assert_eq!(stats.pixels_read, (HW * HW) as u64);
+}
+
+#[test]
+fn edge_node_energy_is_consistent_with_system_compression() {
+    let (system, _) = trained_system();
+    let system = &*system;
+    let t = system.model().mask().num_slots();
+    let node = EdgeNode::new(HW * HW, t, Wireless::PassiveWifi);
+    // The readout+wireless reduction must equal the compression ratio.
+    let conv = node.conventional_energy();
+    let snap = node.snappix_energy();
+    let reduction = (conv.readout_pj + conv.wireless_pj) / (snap.readout_pj + snap.wireless_pj);
+    assert!((reduction - t as f64).abs() < 1e-9);
+    assert!(node.snappix_saving() > 1.0);
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the training pipelines: MAE pre-training,
+//! encoder transfer, fine-tuning, reconstruction, and the cross-model
+//! training harness.
+
+use snappix::prelude::*;
+
+const T: usize = 8;
+const HW: usize = 16;
+const CLASSES: usize = 8;
+
+fn mask() -> ExposureMask {
+    patterns::sparse_random(T, (8, 8), &mut rand_seeded(2)).expect("valid dims")
+}
+
+fn rand_seeded(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn mae_pretraining_then_transfer_then_finetune() {
+    // ssv2_like carries 10 classes; size the heads accordingly.
+    const SSV2_CLASSES: usize = 10;
+    let data = Dataset::new(ssv2_like(T, HW, HW), 48);
+    let (train, test) = data.split(0.75);
+
+    // Pre-train the encoder on coded-image-to-video reconstruction.
+    let cfg = MaeConfig::for_encoder(VitConfig::snappix_s(HW, HW, SSV2_CLASSES), T);
+    let mut mae = MaePretrainer::new(cfg, mask(), 3e-3).expect("geometry");
+    let history = mae.train(&train, 25, 4).expect("pre-training");
+    let early: f32 = history[..5].iter().sum::<f32>() / 5.0;
+    let late: f32 = history[history.len() - 5..].iter().sum::<f32>() / 5.0;
+    assert!(late < early, "MAE loss should fall: {early} -> {late}");
+
+    // Transfer into a fresh AR model and fine-tune briefly.
+    let mut model =
+        SnapPixAr::new(VitConfig::snappix_s(HW, HW, SSV2_CLASSES), mask()).expect("geometry");
+    let copied = mae.transfer_encoder(model.store_mut());
+    assert!(copied >= 10, "encoder transfer copied only {copied} tensors");
+    let report =
+        train_action_model(&mut model, &train, &TrainOptions::experiment(4)).expect("fine-tune");
+    assert!(report.final_loss().is_finite());
+    let acc = evaluate_accuracy(&model, &test).expect("evaluation");
+    assert!((0.0..=100.0).contains(&acc));
+}
+
+#[test]
+fn reconstruction_training_beats_temporal_mean_baseline() {
+    let data = Dataset::new(ssv2_like(T, HW, HW), 32);
+    let mut rec = SnapPixRec::new(
+        VitConfig::snappix_s(HW, HW, CLASSES),
+        patterns::short_exposure(T, (8, 8), 4).expect("valid dims"),
+        T,
+        3e-3,
+    )
+    .expect("geometry");
+    rec.train(&data, 250, 4).expect("training");
+    let psnr_model = rec.evaluate_psnr(&data, 8).expect("evaluation");
+
+    // Baseline: predict every frame as the clip's temporal mean.
+    let batch = data.batch(0, 8);
+    let mut mean_psnr = 0.0f32;
+    for b in 0..8 {
+        let clip = Video::new(batch.videos.index_axis(0, b).expect("batch")).expect("rank");
+        let mean = clip.temporal_mean();
+        let mut frames = Vec::new();
+        for _ in 0..T {
+            frames.push(mean.clone());
+        }
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let constant = Tensor::stack(&refs, 0).expect("stack");
+        mean_psnr += psnr(clip.frames(), &constant).expect("psnr");
+    }
+    mean_psnr /= 8.0;
+    assert!(
+        psnr_model > mean_psnr - 3.0,
+        "trained REC ({psnr_model:.2} dB) should be competitive with the \
+         temporal-mean baseline ({mean_psnr:.2} dB)"
+    );
+}
+
+#[test]
+fn every_baseline_trains_without_error() {
+    let data = Dataset::new(ucf101_like(T, HW, HW), 16);
+    let opts = TrainOptions::quick();
+
+    let mut svc = Svc2d::new(T, HW, HW, 8, CLASSES).expect("geometry");
+    let r = train_action_model(&mut svc, &data, &opts).expect("svc2d");
+    assert!(r.final_loss().is_finite());
+
+    let mut c3d = C3d::new(T, HW, HW, CLASSES).expect("geometry");
+    let r = train_action_model(&mut c3d, &data, &opts).expect("c3d");
+    assert!(r.final_loss().is_finite());
+
+    let mut vvit = VideoVit::new(T, HW, HW, CLASSES).expect("geometry");
+    let r = train_action_model(&mut vvit, &data, &opts).expect("video-vit");
+    assert!(r.final_loss().is_finite());
+
+    let mut down = DownsampleVideoVit::new(T, HW, HW, 4, CLASSES).expect("geometry");
+    let r = train_action_model(&mut down, &data, &opts).expect("downsample");
+    assert!(r.final_loss().is_finite());
+}
+
+#[test]
+fn svc2d_learns_its_pattern_during_training() {
+    let data = Dataset::new(ucf101_like(T, HW, HW), 16);
+    let mut svc = Svc2d::new(T, HW, HW, 8, CLASSES).expect("geometry");
+    let before = svc.learned_mask().expect("mask");
+    train_action_model(&mut svc, &data, &TrainOptions::quick()).expect("training");
+    let after = svc.learned_mask().expect("mask");
+    // End-to-end learning must actually move the pattern.
+    assert_ne!(
+        before.pattern().as_slice(),
+        after.pattern().as_slice(),
+        "SVC2D's exposure pattern should change during training"
+    );
+}
+
+#[test]
+fn accuracy_evaluation_is_deterministic() {
+    let data = Dataset::new(ucf101_like(T, HW, HW), 16);
+    let model = SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask()).expect("geometry");
+    let a = evaluate_accuracy(&model, &data).expect("eval");
+    let b = evaluate_accuracy(&model, &data).expect("eval");
+    assert_eq!(a, b, "multi-threaded evaluation must stay deterministic");
+}
