@@ -34,7 +34,10 @@ impl fmt::Display for AutogradError {
                 write!(f, "backward requires a scalar, got shape {shape:?}")
             }
             AutogradError::InvalidVar { index, nodes } => {
-                write!(f, "variable {index} does not belong to this graph ({nodes} nodes)")
+                write!(
+                    f,
+                    "variable {index} does not belong to this graph ({nodes} nodes)"
+                )
             }
             AutogradError::InvalidArgument { context } => {
                 write!(f, "invalid argument: {context}")

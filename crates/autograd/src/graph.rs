@@ -197,8 +197,11 @@ impl Graph {
             let Some(backward) = &node.backward else {
                 continue;
             };
-            let parent_values: Vec<&Tensor> =
-                node.parents.iter().map(|p| &self.nodes[p.0].value).collect();
+            let parent_values: Vec<&Tensor> = node
+                .parents
+                .iter()
+                .map(|p| &self.nodes[p.0].value)
+                .collect();
             let parent_grads = backward(&upstream, &parent_values);
             debug_assert_eq!(parent_grads.len(), node.parents.len());
             let parents = node.parents.clone();
@@ -237,7 +240,8 @@ pub(crate) fn reduce_to_shape(grad: &Tensor, shape: &[usize]) -> Tensor {
             g = g.sum_axis(axis, true).expect("axis in range");
         }
     }
-    g.reshape(shape).expect("same element count after reduction")
+    g.reshape(shape)
+        .expect("same element count after reduction")
 }
 
 #[cfg(test)]

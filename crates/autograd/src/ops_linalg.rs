@@ -363,7 +363,7 @@ mod tests {
     fn transpose_and_permute_numeric() {
         let mut rng = StdRng::seed_from_u64(4);
         let a = Tensor::rand_uniform(&mut rng, &[2, 3, 4], -1.0, 1.0);
-        check_gradients(&[a.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&a), |g, vars| {
             let t = g.transpose(vars[0])?;
             let s = g.mul(t, t)?;
             g.sum(s)
@@ -393,13 +393,13 @@ mod tests {
     fn reductions_numeric() {
         let mut rng = StdRng::seed_from_u64(6);
         let a = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
-        check_gradients(&[a.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&a), |g, vars| {
             let s = g.sum_axis(vars[0], 0, false)?;
             let q = g.mul(s, s)?;
             g.sum(q)
         })
         .unwrap();
-        check_gradients(&[a.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&a), |g, vars| {
             let s = g.mean_axis(vars[0], 1, true)?;
             let q = g.mul(s, s)?;
             g.sum(q)

@@ -282,9 +282,7 @@ impl Graph {
     /// Fails for a foreign handle.
     pub fn binarize_ste(&mut self, a: Var, threshold: f32) -> Result<Var> {
         self.check(a)?;
-        let value = self
-            .value(a)
-            .map(|x| if x > threshold { 1.0 } else { 0.0 });
+        let value = self.value(a).map(|x| if x > threshold { 1.0 } else { 0.0 });
         Ok(self.push_op(value, vec![a], Box::new(|g, _| vec![g.clone()])))
     }
 
@@ -331,7 +329,10 @@ mod tests {
     fn add_broadcast_grads() {
         let mut g = Graph::new();
         let a = leaf2x3(&mut g);
-        let b = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap(), true);
+        let b = g.leaf(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap(),
+            true,
+        );
         let s = g.add(a, b).unwrap();
         let loss = g.sum(s).unwrap();
         g.backward(loss).unwrap();
@@ -377,7 +378,7 @@ mod tests {
     #[test]
     fn scalar_ops_numeric() {
         let x = Tensor::from_vec(vec![1.0, -2.0, 0.3], &[3]).unwrap();
-        check_gradients(&[x.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&x), |g, vars| {
             let a = g.scale(vars[0], 3.0)?;
             let b = g.add_scalar(a, -1.0)?;
             g.sum(b)
@@ -393,7 +394,7 @@ mod tests {
     #[test]
     fn exp_ln_numeric() {
         let x = Tensor::from_vec(vec![0.5, 1.5, 2.5], &[3]).unwrap();
-        check_gradients(&[x.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&x), |g, vars| {
             let e = g.exp(vars[0])?;
             g.sum(e)
         })
@@ -410,7 +411,7 @@ mod tests {
         // Avoid 0.0 for relu (kink).
         let x = Tensor::from_vec(vec![0.7, -1.3, 2.1, -0.4], &[4]).unwrap();
         for f in ["relu", "gelu", "sigmoid", "tanh"] {
-            check_gradients(&[x.clone()], |g, vars| {
+            check_gradients(std::slice::from_ref(&x), |g, vars| {
                 let y = match f {
                     "relu" => g.relu(vars[0])?,
                     "gelu" => g.gelu(vars[0])?,

@@ -121,7 +121,9 @@ impl Graph {
                     vec![a],
                     Box::new(move |g, parents| {
                         let (h, w) = (parents[0].shape()[0], parents[0].shape()[1]);
-                        vec![g.assemble_patches(ph, pw, h, w).expect("inverse of forward")]
+                        vec![g
+                            .assemble_patches(ph, pw, h, w)
+                            .expect("inverse of forward")]
                     }),
                 ))
             }
@@ -152,7 +154,10 @@ impl Graph {
                 ))
             }
             r => Err(AutogradError::Tensor(
-                snappix_tensor::TensorError::RankMismatch { expected: 2, got: r },
+                snappix_tensor::TensorError::RankMismatch {
+                    expected: 2,
+                    got: r,
+                },
             )),
         }
     }
@@ -212,7 +217,10 @@ impl Graph {
                 ))
             }
             r => Err(AutogradError::Tensor(
-                snappix_tensor::TensorError::RankMismatch { expected: 2, got: r },
+                snappix_tensor::TensorError::RankMismatch {
+                    expected: 2,
+                    got: r,
+                },
             )),
         }
     }
@@ -267,8 +275,7 @@ impl Graph {
                 for f in 0..t {
                     for y in 0..h {
                         for x in 0..w {
-                            os[f * th * tw + (y % th) * tw + (x % tw)] +=
-                                gs[f * h * w + y * w + x];
+                            os[f * th * tw + (y % th) * tw + (x % tw)] += gs[f * h * w + y * w + x];
                         }
                     }
                 }
@@ -357,7 +364,7 @@ mod tests {
     fn batched_patches_numeric() {
         let mut rng = StdRng::seed_from_u64(5);
         let a = Tensor::rand_uniform(&mut rng, &[2, 4, 4], -1.0, 1.0);
-        check_gradients(&[a.clone()], |g, vars| {
+        check_gradients(std::slice::from_ref(&a), |g, vars| {
             let p = g.extract_patches(vars[0], 2, 2)?;
             let q = g.mul(p, p)?;
             g.sum(q)

@@ -27,8 +27,7 @@ fn bench_models(c: &mut Criterion) {
 
     let snappix_s =
         SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask.clone()).expect("geometry");
-    let snappix_b =
-        SnapPixAr::new(VitConfig::snappix_b(HW, HW, CLASSES), mask).expect("geometry");
+    let snappix_b = SnapPixAr::new(VitConfig::snappix_b(HW, HW, CLASSES), mask).expect("geometry");
     let svc2d = Svc2d::new(T, HW, HW, 8, CLASSES).expect("geometry");
     let c3d = C3d::new(T, HW, HW, CLASSES).expect("geometry");
     let video_vit = VideoVit::new(T, HW, HW, CLASSES).expect("geometry");

@@ -13,8 +13,11 @@ fn main() {
         area::LOGIC_AREA_65NM_UM2,
         area::LOGIC_AREA_22NM_UM2
     );
-    println!("interpolated: {:.2} um^2 @45nm, {:.2} um^2 @28nm\n",
-        area::logic_area_um2(45.0), area::logic_area_um2(28.0));
+    println!(
+        "interpolated: {:.2} um^2 @45nm, {:.2} um^2 @28nm\n",
+        area::logic_area_um2(45.0),
+        area::logic_area_um2(28.0)
+    );
 
     println!(
         "{:<8} {:>16} {:>16} {:>16} {:>12}",
@@ -27,7 +30,11 @@ fn main() {
             row.shift_register_wires,
             row.broadcast_wires,
             row.broadcast_wire_side_um,
-            if row.broadcast_exceeds_aps { "no" } else { "yes" }
+            if row.broadcast_exceeds_aps {
+                "no"
+            } else {
+                "yes"
+            }
         );
     }
     println!(

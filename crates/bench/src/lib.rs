@@ -219,8 +219,7 @@ pub fn run_table1(s: &Scale) -> Result<Vec<Table1Row>, Box<dyn std::error::Error
     // Throughput is measured on a fixed batch.
     let rate_batch = pretrain_data.batch(0, 8);
 
-    type Builder =
-        Box<dyn Fn(usize) -> Result<Box<dyn ActionModel>, Box<dyn std::error::Error>>>;
+    type Builder = Box<dyn Fn(usize) -> Result<Box<dyn ActionModel>, Box<dyn std::error::Error>>>;
     let builders: Vec<(String, &'static str, Builder)> = vec![
         (
             "SnapPix-S".into(),
@@ -343,7 +342,11 @@ pub fn run_energy(s: &Scale) -> Result<EnergyReport, Box<dyn std::error::Error>>
         VitConfig::snappix_b(FRAME, FRAME, train.num_classes()),
         mask,
     )?;
-    train_action_model(&mut snappix_b, &train, &TrainOptions::experiment(s.ar_epochs))?;
+    train_action_model(
+        &mut snappix_b,
+        &train,
+        &TrainOptions::experiment(s.ar_epochs),
+    )?;
     let acc_snappix = evaluate_accuracy(&snappix_b, &test)?;
     let mut down = DownsampleVideoVit::new(SLOTS, FRAME, FRAME, 4, train.num_classes())?;
     train_action_model(&mut down, &train, &TrainOptions::experiment(s.ar_epochs))?;

@@ -39,7 +39,10 @@ pub fn encode(video: &Tensor, mask: &ExposureMask) -> Result<Tensor> {
     let (t, h, w) = (video.shape()[0], video.shape()[1], video.shape()[2]);
     if t != mask.num_slots() {
         return Err(CeError::InvalidMask {
-            context: format!("mask has {} slots but video has {t} frames", mask.num_slots()),
+            context: format!(
+                "mask has {} slots but video has {t} frames",
+                mask.num_slots()
+            ),
         });
     }
     let full = mask.expand_to(h, w)?;
@@ -167,7 +170,10 @@ mod tests {
         let f1 = Tensor::full(&[1, 2, 4], 20.0);
         let video = Tensor::concat(&[&f0, &f1], 0).unwrap();
         let coded = encode(&video, &mask).unwrap();
-        assert_eq!(coded.as_slice(), &[10.0, 20.0, 10.0, 20.0, 10.0, 20.0, 10.0, 20.0]);
+        assert_eq!(
+            coded.as_slice(),
+            &[10.0, 20.0, 10.0, 20.0, 10.0, 20.0, 10.0, 20.0]
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e: CeError = TensorError::InvalidArgument { context: "x".into() }.into();
+        let e: CeError = TensorError::InvalidArgument {
+            context: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("tensor"));
         assert!(std::error::Error::source(&e).is_some());
         let m = CeError::InvalidMask {

@@ -158,8 +158,8 @@ mod tests {
     #[test]
     fn exposure_counts_sum_slots() {
         // Slot 0 exposes everything; slot 1 exposes nothing.
-        let p = Tensor::concat(&[&Tensor::ones(&[1, 2, 2]), &Tensor::zeros(&[1, 2, 2])], 0)
-            .unwrap();
+        let p =
+            Tensor::concat(&[&Tensor::ones(&[1, 2, 2]), &Tensor::zeros(&[1, 2, 2])], 0).unwrap();
         let m = ExposureMask::new(p).unwrap();
         assert_eq!(m.exposure_counts().as_slice(), &[1.0; 4]);
         assert_eq!(m.open_fraction(), 0.5);

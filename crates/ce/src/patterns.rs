@@ -155,7 +155,12 @@ mod tests {
         assert_eq!(m.exposure_counts().as_slice(), &[1.0; 64]);
         assert!(m.covers_all_pixels());
         // Slots should vary across pixels (not everything in one slot).
-        let per_slot = m.pattern().sum_axis(1, false).unwrap().sum_axis(1, false).unwrap();
+        let per_slot = m
+            .pattern()
+            .sum_axis(1, false)
+            .unwrap()
+            .sum_axis(1, false)
+            .unwrap();
         let occupied = per_slot.as_slice().iter().filter(|&&s| s > 0.0).count();
         assert!(occupied > 4, "only {occupied} slots used");
     }

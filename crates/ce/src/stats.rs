@@ -78,7 +78,10 @@ pub fn pearson_matrix(samples: &Tensor) -> Result<Tensor> {
     let var = centered.mul(&centered)?.mean_axis(0, false)?; // [p]
     let std: Vec<f32> = var.as_slice().iter().map(|&v| v.sqrt()).collect();
     // C = (X^T X) / s, then normalize by std_i * std_j.
-    let cov = centered.transpose()?.matmul(&centered)?.scale(1.0 / s as f32);
+    let cov = centered
+        .transpose()?
+        .matmul(&centered)?
+        .scale(1.0 / s as f32);
     let mut c = cov;
     {
         let data = c.as_mut_slice();

@@ -100,7 +100,12 @@ impl EdgeGpuScenario {
     }
 
     /// Energy saving of running `ours` instead of `baseline` on the edge.
-    pub fn saving(&self, energy: &EnergyModel, ours: GpuModelClass, baseline: GpuModelClass) -> f64 {
+    pub fn saving(
+        &self,
+        energy: &EnergyModel,
+        ours: GpuModelClass,
+        baseline: GpuModelClass,
+    ) -> f64 {
         self.total_pj(energy, baseline) / self.total_pj(energy, ours)
     }
 }
@@ -151,7 +156,7 @@ mod tests {
     }
 
     #[test]
-    fn saving_is_reciprocal(){
+    fn saving_is_reciprocal() {
         let e = EnergyModel::paper();
         let s = scenario();
         let ab = s.saving(&e, GpuModelClass::SnapPixS, GpuModelClass::C3d);

@@ -208,7 +208,10 @@ mod tests {
                 wireless: Wireless::PassiveWifi,
             };
             let saving = m.edge_energy_saving(&s);
-            assert!(saving > prev, "saving must grow with T: {saving} at {slots}");
+            assert!(
+                saving > prev,
+                "saving must grow with T: {saving} at {slots}"
+            );
             prev = saving;
         }
     }
@@ -243,12 +246,9 @@ mod tests {
             frame_pixels: 2000,
             ..small
         };
-        let ratio =
-            m.snappix_energy(&big).total_pj() / m.snappix_energy(&small).total_pj();
+        let ratio = m.snappix_energy(&big).total_pj() / m.snappix_energy(&small).total_pj();
         assert!((ratio - 2.0).abs() < 1e-9);
         // And the saving factor is resolution-invariant.
-        assert!(
-            (m.edge_energy_saving(&small) - m.edge_energy_saving(&big)).abs() < 1e-9
-        );
+        assert!((m.edge_energy_saving(&small) - m.edge_energy_saving(&big)).abs() < 1e-9);
     }
 }

@@ -182,11 +182,7 @@ impl SnapPixAr {
     /// # Errors
     ///
     /// Fails when the image geometry does not match the encoder.
-    pub fn build_logits_from_coded(
-        &self,
-        sess: &mut Session<'_>,
-        coded: &Tensor,
-    ) -> Result<Var> {
+    pub fn build_logits_from_coded(&self, sess: &mut Session<'_>, coded: &Tensor) -> Result<Var> {
         let input = sess.input(coded.clone());
         let patch = self.encoder.config().patch;
         let patches = sess.graph.extract_patches(input, patch, patch)?;
@@ -256,6 +252,10 @@ mod tests {
         drop(sess);
         let ids = m.store_mut().ids();
         let with_grads = ids.iter().filter(|&&id| grads.get(id).is_some()).count();
-        assert_eq!(with_grads, ids.len(), "every parameter should get a gradient");
+        assert_eq!(
+            with_grads,
+            ids.len(),
+            "every parameter should get a gradient"
+        );
     }
 }

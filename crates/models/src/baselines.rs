@@ -48,7 +48,12 @@ impl Svc2d {
         tile: usize,
         classes: usize,
     ) -> Result<Self> {
-        if slots == 0 || tile == 0 || !height.is_multiple_of(tile) || !width.is_multiple_of(tile) || classes == 0 {
+        if slots == 0
+            || tile == 0
+            || !height.is_multiple_of(tile)
+            || !width.is_multiple_of(tile)
+            || classes == 0
+        {
             return Err(ModelError::Config {
                 context: format!(
                     "svc2d: slots {slots}, tile {tile}, frame {height}x{width}, classes {classes}"
@@ -114,7 +119,9 @@ impl ActionModel for Svc2d {
 
     fn build_logits(&self, sess: &mut Session<'_>, videos: &Tensor) -> Result<Var> {
         let shape = videos.shape().to_vec();
-        if shape.len() != 4 || shape[1] != self.slots || shape[2] != self.height
+        if shape.len() != 4
+            || shape[1] != self.slots
+            || shape[2] != self.height
             || shape[3] != self.width
         {
             return Err(ModelError::Input {
@@ -128,9 +135,9 @@ impl ActionModel for Svc2d {
         // End-to-end learned CE: binarize logits with STE, tile, integrate.
         let logits = sess.param(self.logits_param);
         let mask = sess.graph.binarize_ste(logits, 0.0)?;
-        let tiled = sess
-            .graph
-            .tile_spatial(mask, self.height / self.tile, self.width / self.tile)?;
+        let tiled =
+            sess.graph
+                .tile_spatial(mask, self.height / self.tile, self.width / self.tile)?;
         let tiled4 = sess
             .graph
             .reshape(tiled, &[1, self.slots, self.height, self.width])?;
@@ -238,7 +245,9 @@ impl ActionModel for C3d {
 
     fn build_logits(&self, sess: &mut Session<'_>, videos: &Tensor) -> Result<Var> {
         let shape = videos.shape().to_vec();
-        if shape.len() != 4 || shape[1] != self.slots || shape[2] != self.height
+        if shape.len() != 4
+            || shape[1] != self.slots
+            || shape[2] != self.height
             || shape[3] != self.width
         {
             return Err(ModelError::Input {
@@ -297,7 +306,17 @@ impl VideoVit {
     ///
     /// Returns [`ModelError::Config`] when tubelets do not tile the clip.
     pub fn new(slots: usize, height: usize, width: usize, classes: usize) -> Result<Self> {
-        Self::with_geometry("VideoMAEv2-ST-like", slots, height, width, 4, 8, 32, 2, classes)
+        Self::with_geometry(
+            "VideoMAEv2-ST-like",
+            slots,
+            height,
+            width,
+            4,
+            8,
+            32,
+            2,
+            classes,
+        )
     }
 
     /// Fully parameterized constructor (used by the downsample baseline).
@@ -404,9 +423,8 @@ impl VideoVit {
                                     let v = src[((b * t + zt * tp + dt) * h + zy * p + dy) * w
                                         + zx * p
                                         + dx];
-                                    dst[(b * tokens + token) * tubelet
-                                        + (dt * p + dy) * p
-                                        + dx] = v;
+                                    dst[(b * tokens + token) * tubelet + (dt * p + dy) * p + dx] =
+                                        v;
                                 }
                             }
                         }
@@ -437,7 +455,9 @@ impl ActionModel for VideoVit {
 
     fn build_logits(&self, sess: &mut Session<'_>, videos: &Tensor) -> Result<Var> {
         let shape = videos.shape().to_vec();
-        if shape.len() != 4 || shape[1] != self.slots || shape[2] != self.height
+        if shape.len() != 4
+            || shape[1] != self.slots
+            || shape[2] != self.height
             || shape[3] != self.width
         {
             return Err(ModelError::Input {
@@ -550,7 +570,9 @@ impl ActionModel for DownsampleVideoVit {
 
     fn build_logits(&self, sess: &mut Session<'_>, videos: &Tensor) -> Result<Var> {
         let shape = videos.shape().to_vec();
-        if shape.len() != 4 || shape[1] != self.slots || shape[2] != self.height
+        if shape.len() != 4
+            || shape[1] != self.slots
+            || shape[2] != self.height
             || shape[3] != self.width
         {
             return Err(ModelError::Input {

@@ -178,11 +178,7 @@ impl MaePretrainer {
             let coded = encode_batch_normalized(videos, &self.mask)?;
             let batch = coded.shape()[0];
             let patch = self.config.vit.patch;
-            let target = video_patch_targets(
-                videos,
-                &self.config.predicted_frames(),
-                patch,
-            )?;
+            let target = video_patch_targets(videos, &self.config.predicted_frames(), patch)?;
 
             let mut sess = Session::new(&self.store);
             let input = sess.input(coded);
@@ -229,7 +225,12 @@ impl MaePretrainer {
     /// # Errors
     ///
     /// Fails on geometry mismatches or an empty dataset.
-    pub fn train(&mut self, dataset: &Dataset, steps: usize, batch_size: usize) -> Result<Vec<f32>> {
+    pub fn train(
+        &mut self,
+        dataset: &Dataset,
+        steps: usize,
+        batch_size: usize,
+    ) -> Result<Vec<f32>> {
         if dataset.is_empty() || batch_size == 0 {
             return Err(ModelError::Input {
                 context: "pre-training needs a non-empty dataset and batch".to_string(),
@@ -377,8 +378,7 @@ mod tests {
     #[test]
     fn transfer_encoder_moves_weights() {
         let mae = MaePretrainer::new(config(), mask(), 1e-3).unwrap();
-        let mut ar =
-            crate::SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask()).unwrap();
+        let mut ar = crate::SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask()).unwrap();
         use crate::ActionModel;
         let before = ar
             .store()

@@ -144,7 +144,12 @@ impl SnapPixRec {
     /// # Errors
     ///
     /// Fails on an empty dataset or geometry mismatches.
-    pub fn train(&mut self, dataset: &Dataset, steps: usize, batch_size: usize) -> Result<Vec<f32>> {
+    pub fn train(
+        &mut self,
+        dataset: &Dataset,
+        steps: usize,
+        batch_size: usize,
+    ) -> Result<Vec<f32>> {
         if dataset.is_empty() || batch_size == 0 {
             return Err(ModelError::Input {
                 context: "training needs a non-empty dataset and batch".to_string(),

@@ -116,7 +116,11 @@ pub fn train_action_model(
                 let mut sess = Session::new(model.store());
                 let logits = model.build_logits(&mut sess, &batch.videos)?;
                 let loss_var = sess.graph.cross_entropy_logits(logits, &batch.labels)?;
-                let loss = sess.graph.value(loss_var).item().map_err(ModelError::from)?;
+                let loss = sess
+                    .graph
+                    .value(loss_var)
+                    .item()
+                    .map_err(ModelError::from)?;
                 let grads = sess.backward(loss_var)?;
                 (loss, grads)
             };
@@ -151,7 +155,7 @@ pub fn evaluate_accuracy(model: &dyn ActionModel, dataset: &Dataset) -> Result<f
         .min(4)
         .min(dataset.len());
     let chunk = dataset.len().div_ceil(threads);
-    let correct: usize = crossbeam::thread::scope(|scope| {
+    let correct: usize = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -159,7 +163,7 @@ pub fn evaluate_accuracy(model: &dyn ActionModel, dataset: &Dataset) -> Result<f
             if lo >= hi {
                 continue;
             }
-            handles.push(scope.spawn(move |_| -> Result<usize> {
+            handles.push(scope.spawn(move || -> Result<usize> {
                 let mut correct = 0usize;
                 const EVAL_BATCH: usize = 8;
                 let mut i = lo;
@@ -181,11 +185,7 @@ pub fn evaluate_accuracy(model: &dyn ActionModel, dataset: &Dataset) -> Result<f
                         .value(logits)
                         .argmax_axis(1)
                         .map_err(ModelError::from)?;
-                    correct += pred
-                        .iter()
-                        .zip(&labels)
-                        .filter(|(p, l)| *p == *l)
-                        .count();
+                    correct += pred.iter().zip(&labels).filter(|(p, l)| *p == *l).count();
                     i += size;
                 }
                 Ok(correct)
@@ -196,8 +196,7 @@ pub fn evaluate_accuracy(model: &dyn ActionModel, dataset: &Dataset) -> Result<f
             total += h.join().expect("evaluation thread panicked")?;
         }
         Ok::<usize, ModelError>(total)
-    })
-    .expect("evaluation scope panicked")?;
+    })?;
     Ok(100.0 * correct as f32 / dataset.len() as f32)
 }
 
@@ -240,12 +239,7 @@ mod tests {
     use snappix_video::{ssv2_like, ucf101_like};
 
     fn small_model(classes: usize) -> SnapPixAr {
-        let mask = patterns::sparse_random(
-            8,
-            (8, 8),
-            &mut StdRng::seed_from_u64(1),
-        )
-        .unwrap();
+        let mask = patterns::sparse_random(8, (8, 8), &mut StdRng::seed_from_u64(1)).unwrap();
         SnapPixAr::new(VitConfig::snappix_s(16, 16, classes), mask).unwrap()
     }
 

@@ -249,7 +249,10 @@ mod tests {
         let (vis, masked) = random_token_split(16, 0.85, &mut rng);
         assert_eq!(vis.len() + masked.len(), 16);
         assert!(!vis.is_empty());
-        assert!((2..=4).contains(&vis.len()), "85% of 16 masked -> ~2-3 visible");
+        assert!(
+            (2..=4).contains(&vis.len()),
+            "85% of 16 masked -> ~2-3 visible"
+        );
         let mut all: Vec<usize> = vis.iter().chain(masked.iter()).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..16).collect::<Vec<_>>());

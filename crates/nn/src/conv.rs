@@ -95,9 +95,11 @@ impl Conv2d {
             self.padding,
         );
         let (stride, padding) = (self.stride, self.padding);
-        Ok(sess.graph.custom_op(value, vec![x, wv, bv], move |g, parents| {
-            conv2d_backward(g, parents[0], parents[1], stride, padding)
-        })?)
+        Ok(sess
+            .graph
+            .custom_op(value, vec![x, wv, bv], move |g, parents| {
+                conv2d_backward(g, parents[0], parents[1], stride, padding)
+            })?)
     }
 }
 
@@ -170,8 +172,7 @@ fn conv2d_backward(g: &Tensor, x: &Tensor, w: &Tensor, stride: usize, pad: usize
                                     if ix < 0 || ix as usize >= wid {
                                         continue;
                                     }
-                                    let xi =
-                                        ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
+                                    let xi = ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
                                     let wi = ((f * cin + c) * kh + ky) * kw + kx;
                                     dxs[xi] += go * ws[wi];
                                     dws[wi] += go * xs[xi];
@@ -232,11 +233,7 @@ impl Conv3d {
         let fan_in = in_ch * kernel.0 * kernel.1 * kernel.2;
         let weight = store.register(
             format!("{name}.weight"),
-            kaiming_uniform(
-                rng,
-                &[out_ch, in_ch, kernel.0, kernel.1, kernel.2],
-                fan_in,
-            ),
+            kaiming_uniform(rng, &[out_ch, in_ch, kernel.0, kernel.1, kernel.2], fan_in),
         );
         let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_ch]));
         Ok(Conv3d {
@@ -282,9 +279,11 @@ impl Conv3d {
             self.padding,
         );
         let (stride, padding) = (self.stride, self.padding);
-        Ok(sess.graph.custom_op(value, vec![x, wv, bv], move |g, parents| {
-            conv3d_backward(g, parents[0], parents[1], stride, padding)
-        })?)
+        Ok(sess
+            .graph
+            .custom_op(value, vec![x, wv, bv], move |g, parents| {
+                conv3d_backward(g, parents[0], parents[1], stride, padding)
+            })?)
     }
 }
 
@@ -388,8 +387,7 @@ fn conv3d_backward(
                                             continue;
                                         }
                                         for kx in 0..kw {
-                                            let ix =
-                                                (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                            let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
                                             if ix < 0 || ix as usize >= wid {
                                                 continue;
                                             }
@@ -397,8 +395,8 @@ fn conv3d_backward(
                                                 + iy as usize)
                                                 * wid
                                                 + ix as usize;
-                                            let wi = (((f * cin + c) * kt + kz) * kh + ky) * kw
-                                                + kx;
+                                            let wi =
+                                                (((f * cin + c) * kt + kz) * kh + ky) * kw + kx;
                                             dxs[xi] += go * ws[wi];
                                             dws[wi] += go * xs[xi];
                                         }

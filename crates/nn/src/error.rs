@@ -78,12 +78,17 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: NnError = TensorError::InvalidArgument { context: "x".into() }.into();
+        let e: NnError = TensorError::InvalidArgument {
+            context: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("tensor error"));
         let e: NnError = AutogradError::NotScalar { shape: vec![2] }.into();
         assert!(e.to_string().contains("autograd"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = NnError::Config { context: "bad".into() };
+        let e = NnError::Config {
+            context: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
     }
 }

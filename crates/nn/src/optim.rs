@@ -162,7 +162,9 @@ impl Optimizer for Adam {
                 Some((m, v)) => (m.clone(), v.clone()),
                 None => (Tensor::zeros(grad.shape()), Tensor::zeros(grad.shape())),
             };
-            let m = m_prev.scale(self.beta1).add(&grad.scale(1.0 - self.beta1))?;
+            let m = m_prev
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1))?;
             let g2 = grad.mul(grad)?;
             let v = v_prev.scale(self.beta2).add(&g2.scale(1.0 - self.beta2))?;
             self.moments[id.0] = Some((m.clone(), v.clone()));

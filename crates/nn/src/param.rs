@@ -187,9 +187,7 @@ impl<'s> Session<'s> {
         if let Some(v) = self.bindings[id.0] {
             return v;
         }
-        let v = self
-            .graph
-            .leaf(self.store.value(id).clone(), self.train);
+        let v = self.graph.leaf(self.store.value(id).clone(), self.train);
         self.bindings[id.0] = Some(v);
         v
     }

@@ -69,12 +69,11 @@ fn pool_forward(x: &Tensor, (kt, kh, kw): (usize, usize, usize)) -> Tensor {
                         for dz in 0..kt {
                             for dy in 0..kh {
                                 for dx in 0..kw {
-                                    let v = xs[(((b * ch + c) * t + oz * kt + dz) * h
-                                        + oy * kh
-                                        + dy)
-                                        * w
-                                        + ox * kw
-                                        + dx];
+                                    let v =
+                                        xs[(((b * ch + c) * t + oz * kt + dz) * h + oy * kh + dy)
+                                            * w
+                                            + ox * kw
+                                            + dx];
                                     best = best.max(v);
                                 }
                             }
@@ -107,12 +106,10 @@ fn pool_backward(g: &Tensor, x: &Tensor, (kt, kh, kw): (usize, usize, usize)) ->
                         for dz in 0..kt {
                             for dy in 0..kh {
                                 for dx_ in 0..kw {
-                                    let idx = (((b * ch + c) * t + oz * kt + dz) * h
-                                        + oy * kh
-                                        + dy)
-                                        * w
-                                        + ox * kw
-                                        + dx_;
+                                    let idx =
+                                        (((b * ch + c) * t + oz * kt + dz) * h + oy * kh + dy) * w
+                                            + ox * kw
+                                            + dx_;
                                     if xs[idx] > best {
                                         best = xs[idx];
                                         best_idx = idx;
@@ -139,11 +136,7 @@ mod tests {
     fn pooling_takes_window_max() {
         let store = ParamStore::new();
         let mut sess = Session::inference(&store);
-        let x = Tensor::from_vec(
-            (0..16).map(|i| i as f32).collect(),
-            &[1, 1, 1, 4, 4],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 1, 4, 4]).unwrap();
         let xv = sess.input(x);
         let y = max_pool3d(&mut sess, xv, (1, 2, 2)).unwrap();
         assert_eq!(sess.graph.value(y).as_slice(), &[5.0, 7.0, 13.0, 15.0]);

@@ -119,7 +119,10 @@ mod tests {
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("snappix_nn_test_{}_{name}.snpx", std::process::id()));
+        p.push(format!(
+            "snappix_nn_test_{}_{name}.snpx",
+            std::process::id()
+        ));
         p
     }
 

@@ -102,9 +102,11 @@ impl ShiftVariantConv2d {
             out_ch,
             kernel,
         );
-        Ok(sess.graph.custom_op(value, vec![x, wv, bv], move |g, parents| {
-            svc_backward(g, parents[0], parents[1], tile, kernel)
-        })?)
+        Ok(sess
+            .graph
+            .custom_op(value, vec![x, wv, bv], move |g, parents| {
+                svc_backward(g, parents[0], parents[1], tile, kernel)
+            })?)
     }
 }
 
@@ -139,10 +141,8 @@ fn svc_forward(
                                 if ix < 0 || ix as usize >= wid {
                                     continue;
                                 }
-                                acc += xs
-                                    [((bi * cin + c) * h + iy as usize) * wid + ix as usize]
-                                    * ws[(((bank * out_ch + f) * cin + c) * kernel + ky)
-                                        * kernel
+                                acc += xs[((bi * cin + c) * h + iy as usize) * wid + ix as usize]
+                                    * ws[(((bank * out_ch + f) * cin + c) * kernel + ky) * kernel
                                         + kx];
                             }
                         }
@@ -195,8 +195,7 @@ fn svc_backward(
                                     if ix < 0 || ix as usize >= wid {
                                         continue;
                                     }
-                                    let xi =
-                                        ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
+                                    let xi = ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
                                     let wi = (((bank * out_ch + f) * cin + c) * kernel + ky)
                                         * kernel
                                         + kx;
@@ -248,8 +247,7 @@ mod tests {
         let mut store = ParamStore::new();
         let svc = ShiftVariantConv2d::new(&mut store, "s", 1, 1, 1, (1, 2), &mut rng).unwrap();
         let ids = store.ids();
-        *store.value_mut(ids[0]) =
-            Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1, 1]).unwrap();
+        *store.value_mut(ids[0]) = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1, 1]).unwrap();
         let mut sess = Session::inference(&store);
         let x = sess.input(Tensor::ones(&[1, 1, 1, 4]));
         let y = svc.forward(&mut sess, x).unwrap();

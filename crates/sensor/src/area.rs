@@ -64,7 +64,9 @@ pub fn broadcast_exceeds_aps(n: usize) -> bool {
 /// The smallest tile size at which the broadcast design no longer fits
 /// under the APS pixel (the shift-register design never hits this wall).
 pub fn broadcast_crossover_tile() -> usize {
-    (1..).find(|&n| broadcast_exceeds_aps(n)).expect("growth is unbounded")
+    (1..)
+        .find(|&n| broadcast_exceeds_aps(n))
+        .expect("growth is unbounded")
 }
 
 /// One row of the Sec. V area comparison.

@@ -314,11 +314,7 @@ mod tests {
         for y in 0..4 {
             for x in 0..4 {
                 let expected = if y % 2 == 0 && x % 2 == 1 { 1.0 } else { 0.0 };
-                assert_eq!(
-                    img.get(&[y, x]).unwrap(),
-                    expected,
-                    "pixel ({y}, {x})"
-                );
+                assert_eq!(img.get(&[y, x]).unwrap(), expected, "pixel ({y}, {x})");
             }
         }
     }

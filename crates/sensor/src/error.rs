@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e: SensorError = TensorError::InvalidArgument { context: "x".into() }.into();
+        let e: SensorError = TensorError::InvalidArgument {
+            context: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("tensor"));
         assert!(std::error::Error::source(&e).is_some());
         let g = SensorError::Geometry {

@@ -169,7 +169,7 @@ mod tests {
         p.pattern_reset();
         p.expose(10.0, 1.0); // bright stale light
         p.pattern_transfer(); // blocked
-        // Slot B, bit 1.
+                              // Slot B, bit 1.
         p.shift(true);
         p.pattern_reset(); // flushes the stale 10.0
         p.expose(0.5, 1.0);

@@ -85,8 +85,7 @@ impl Readout {
         let mut out = analog.clone();
         for v in out.as_mut_slice() {
             let charge = *v;
-            let mut electrons =
-                (charge / cfg.full_scale).clamp(0.0, 1.0) * cfg.full_well_electrons;
+            let mut electrons = (charge / cfg.full_scale).clamp(0.0, 1.0) * cfg.full_well_electrons;
             if cfg.shot_noise && electrons > 0.0 {
                 electrons += self.sample_normal() * electrons.sqrt();
             }

@@ -57,9 +57,7 @@ pub use system::{SnapPixSystem, SystemError};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{
-        evaluate_deployment, DeploymentReport, EdgeNode, SnapPixSystem, SystemError,
-    };
+    pub use crate::{evaluate_deployment, DeploymentReport, EdgeNode, SnapPixSystem, SystemError};
     pub use snappix_ce::{
         encode, encode_batch, encode_batch_normalized, encode_normalized,
         measure_pattern_correlation, normalize_coded, patterns, DecorrelationConfig,
@@ -73,7 +71,5 @@ pub mod prelude {
     };
     pub use snappix_sensor::{CeSensor, Readout, ReadoutConfig};
     pub use snappix_tensor::Tensor;
-    pub use snappix_video::{
-        k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video,
-    };
+    pub use snappix_video::{k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video};
 }

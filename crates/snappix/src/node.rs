@@ -88,8 +88,7 @@ mod tests {
     #[test]
     fn breakdowns_are_consistent_with_saving() {
         let node = EdgeNode::new(2048, 8, Wireless::Custom(50.0));
-        let ratio =
-            node.conventional_energy().total_pj() / node.snappix_energy().total_pj();
+        let ratio = node.conventional_energy().total_pj() / node.snappix_energy().total_pj();
         assert!((ratio - node.snappix_saving()).abs() < 1e-9);
     }
 }

@@ -73,7 +73,7 @@ pub fn evaluate_deployment(
     }
     let stats = system.last_capture_stats();
     let node = EdgeNode::new(
-        (system.sensor().height() * system.sensor().width()) as usize,
+        system.sensor().height() * system.sensor().width(),
         system.model().mask().num_slots(),
         wireless,
     );
@@ -97,8 +97,7 @@ mod tests {
 
     fn system() -> SnapPixSystem {
         let mask = patterns::long_exposure(8, (8, 8)).expect("valid dims");
-        let model =
-            SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask).expect("geometry");
+        let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask).expect("geometry");
         SnapPixSystem::new(model, ReadoutConfig::noiseless(8, 8.0)).expect("assembly")
     }
 

@@ -129,9 +129,7 @@ impl SnapPixSystem {
     ///
     /// Fails when the clip does not match the sensor.
     pub fn sense(&mut self, video: &Tensor) -> Result<Tensor, SystemError> {
-        let digital = self
-            .sensor
-            .capture_digital(video, &mut self.readout)?;
+        let digital = self.sensor.capture_digital(video, &mut self.readout)?;
         Ok(normalize_coded(&digital, self.model.mask()))
     }
 
@@ -143,9 +141,7 @@ impl SnapPixSystem {
     /// Fails when the clip does not match the sensor or the model.
     pub fn classify(&mut self, video: &Tensor) -> Result<usize, SystemError> {
         let logits = self.logits(video)?;
-        Ok(logits
-            .argmax_axis(1)
-            .map_err(SystemError::from)?[0])
+        Ok(logits.argmax_axis(1).map_err(SystemError::from)?[0])
     }
 
     /// Full pipeline returning raw class logits `[1, classes]`.

@@ -90,7 +90,14 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_kernel(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k1, n);
+        matmul_kernel(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k1,
+            n,
+        );
         Ok(out)
     }
 
@@ -134,12 +141,18 @@ impl Tensor {
 
     /// Maximum element (`f32::NEG_INFINITY` for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (`f32::INFINITY` for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Population variance of all elements.
@@ -148,7 +161,11 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+        self.as_slice()
+            .iter()
+            .map(|&x| (x - m) * (x - m))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Sums along `axis`; `keepdims` retains the axis with extent 1.
@@ -244,9 +261,11 @@ impl Tensor {
     /// [`TensorError::IncompatibleShapes`] when the non-`axis` extents
     /// differ.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
-            context: "concat of zero tensors".to_string(),
-        })?;
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument {
+                context: "concat of zero tensors".to_string(),
+            })?;
         let rank = first.rank();
         if axis >= rank {
             return Err(TensorError::AxisOutOfRange { axis, rank });
@@ -293,9 +312,11 @@ impl Tensor {
     /// Returns [`TensorError::InvalidArgument`] for an empty list or
     /// [`TensorError::IncompatibleShapes`] when shapes differ.
     pub fn stack(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
-            context: "stack of zero tensors".to_string(),
-        })?;
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument {
+                context: "stack of zero tensors".to_string(),
+            })?;
         for t in tensors {
             if t.shape() != first.shape() {
                 return Err(TensorError::IncompatibleShapes {
@@ -447,7 +468,10 @@ impl Tensor {
         let mut data = Vec::with_capacity(indices.len() * cols);
         for &i in indices {
             if i >= rows {
-                return Err(TensorError::IndexOutOfRange { index: i, len: rows });
+                return Err(TensorError::IndexOutOfRange {
+                    index: i,
+                    len: rows,
+                });
             }
             data.extend_from_slice(&self.as_slice()[i * cols..(i + 1) * cols]);
         }

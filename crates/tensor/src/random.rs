@@ -23,12 +23,7 @@ impl Tensor {
 
     /// Creates a tensor of i.i.d. normal samples with the given mean and
     /// standard deviation (Box–Muller transform; no extra dependency).
-    pub fn rand_normal<R: Rng + ?Sized>(
-        rng: &mut R,
-        shape: &[usize],
-        mean: f32,
-        std: f32,
-    ) -> Self {
+    pub fn rand_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], mean: f32, std: f32) -> Self {
         let n: usize = shape.iter().product();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {

@@ -281,10 +281,7 @@ impl Tensor {
         }
         if self.shape[axis] != 1 {
             return Err(TensorError::InvalidArgument {
-                context: format!(
-                    "cannot squeeze axis {axis} of extent {}",
-                    self.shape[axis]
-                ),
+                context: format!("cannot squeeze axis {axis} of extent {}", self.shape[axis]),
             });
         }
         let mut shape = self.shape.clone();
@@ -519,10 +516,7 @@ impl Tensor {
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::IncompatibleShapes {
-                context: format!(
-                    "add_assign shapes {:?} vs {:?}",
-                    self.shape, other.shape
-                ),
+                context: format!("add_assign shapes {:?} vs {:?}", self.shape, other.shape),
             });
         }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
@@ -595,7 +589,12 @@ impl std::fmt::Display for Tensor {
         if self.data.len() <= MAX {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "{:?}... ({} elements)", &self.data[..MAX], self.data.len())
+            write!(
+                f,
+                "{:?}... ({} elements)",
+                &self.data[..MAX],
+                self.data.len()
+            )
         }
     }
 }

@@ -84,7 +84,13 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn clip() -> Video {
-        Video::new(Tensor::arange(2 * 2 * 3).reshape(&[2, 2, 3]).unwrap().scale(0.05)).unwrap()
+        Video::new(
+            Tensor::arange(2 * 2 * 3)
+                .reshape(&[2, 2, 3])
+                .unwrap()
+                .scale(0.05),
+        )
+        .unwrap()
     }
 
     #[test]

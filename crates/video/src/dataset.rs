@@ -187,8 +187,7 @@ impl Dataset {
         let label = if self.config.num_classes == 0 {
             0
         } else {
-            (global + rng.random_range(0..2) * self.config.num_classes)
-                % self.config.num_classes
+            (global + rng.random_range(0..2) * self.config.num_classes) % self.config.num_classes
         };
         let params = SceneParams {
             frames: self.config.frames,

@@ -83,7 +83,11 @@ pub fn render_scene<R: Rng + ?Sized>(params: &SceneParams, rng: &mut R) -> Video
     let mut out = Tensor::zeros(&[t, h, w]);
     let data = out.as_mut_slice();
     for f in 0..t {
-        let tau = if t > 1 { f as f32 / (t - 1) as f32 } else { 0.0 };
+        let tau = if t > 1 {
+            f as f32 / (t - 1) as f32
+        } else {
+            0.0
+        };
         let frame = &mut data[f * h * w..(f + 1) * h * w];
         frame.copy_from_slice(&background);
         for s in &sprites {

@@ -5,31 +5,63 @@
 //! patterns and compare accuracy.
 //!
 //! Run with: `cargo run --release --example action_recognition`
+//!
+//! By default this runs a CI-sized comparison (16x16 frames, short
+//! training). Pass `--full` (or set `SNAPPIX_FULL=1`) for the larger
+//! 24x24 run.
 
 use rand::{rngs::StdRng, SeedableRng};
 use snappix::prelude::*;
 
 const T: usize = 8;
-const HW: usize = 24;
-const CLASSES: usize = 10;
+
+/// Scale knobs: CI-sized by default, `--full` for the larger run.
+struct RunScale {
+    hw: usize,
+    clips: usize,
+    epochs: usize,
+}
+
+impl RunScale {
+    fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--full")
+            || std::env::var("SNAPPIX_FULL").is_ok_and(|v| !v.is_empty() && v != "0");
+        if full {
+            RunScale {
+                hw: 24,
+                clips: 150,
+                epochs: 8,
+            }
+        } else {
+            RunScale {
+                hw: 16,
+                clips: 80,
+                epochs: 6,
+            }
+        }
+    }
+}
 
 fn train_and_score(
     name: &str,
     mask: ExposureMask,
     train: &Dataset,
     test: &Dataset,
+    scale: &RunScale,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let rho = measure_pattern_correlation(train, &mask, 16)?;
-    let mut model = SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask)?;
-    train_action_model(&mut model, train, &TrainOptions::experiment(8))?;
+    let classes = train.num_classes();
+    let mut model = SnapPixAr::new(VitConfig::snappix_s(scale.hw, scale.hw, classes), mask)?;
+    train_action_model(&mut model, train, &TrainOptions::experiment(scale.epochs))?;
     let acc = evaluate_accuracy(&model, test)?;
     println!("{name:<16} correlation {rho:.3}   accuracy {acc:5.1}%");
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
     println!("== task-agnostic exposure patterns on the AR task ==");
-    let data = Dataset::new(ssv2_like(T, HW, HW), 150);
+    let data = Dataset::new(ssv2_like(T, scale.hw, scale.hw), scale.clips);
     let (train, test) = data.split(0.8);
     let mut rng = StdRng::seed_from_u64(123);
 
@@ -41,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DecorrelationConfig::default()
     })?;
     let learned = trainer.train(&train, 25)?;
-    train_and_score("decorrelated", learned.mask, &train, &test)?;
+    train_and_score("decorrelated", learned.mask, &train, &test, &scale)?;
 
     // Builtin baselines from the paper's Fig. 6.
     train_and_score(
@@ -49,14 +81,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         patterns::sparse_random(T, (8, 8), &mut rng)?,
         &train,
         &test,
+        &scale,
     )?;
     train_and_score(
         "random",
         patterns::random(T, (8, 8), 0.5, &mut rng)?,
         &train,
         &test,
+        &scale,
     )?;
-    train_and_score("short", patterns::short_exposure(T, (8, 8), 4)?, &train, &test)?;
-    train_and_score("long", patterns::long_exposure(T, (8, 8))?, &train, &test)?;
+    train_and_score(
+        "short",
+        patterns::short_exposure(T, (8, 8), 4)?,
+        &train,
+        &test,
+        &scale,
+    )?;
+    train_and_score(
+        "long",
+        patterns::long_exposure(T, (8, 8))?,
+        &train,
+        &test,
+        &scale,
+    )?;
     Ok(())
 }

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.final_loss()
     );
     let acc = evaluate_accuracy(&model, &test)?;
-    println!("algorithmic-path accuracy: {acc:.1}% (chance {:.1}%)", 100.0 / CLASSES as f32);
+    println!(
+        "algorithmic-path accuracy: {acc:.1}% (chance {:.1}%)",
+        100.0 / CLASSES as f32
+    );
 
     // 3. Deploy: clips pass through the charge-domain sensor simulation,
     //    and the report combines accuracy with the energy model.

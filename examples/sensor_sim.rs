@@ -34,15 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  M6 reset pulses      : {}", stats.pattern_reset_pulses);
     println!("  M7 transfer pulses   : {}", stats.pattern_transfer_pulses);
     println!("  exposure slots       : {}", stats.exposure_slots);
-    println!("  pixels read out      : {} (a video camera reads {})",
-        stats.pixels_read, stats.pixels_read * T as u64);
+    println!(
+        "  pixels read out      : {} (a video camera reads {})",
+        stats.pixels_read,
+        stats.pixels_read * T as u64
+    );
 
     // Equivalence with the algorithmic codec.
     let reference = encode(clip.frames(), &mask)?;
-    let max_err = analog
-        .sub(&reference)?
-        .abs()
-        .max();
+    let max_err = analog.sub(&reference)?.abs().max();
     println!("\nhardware vs Eqn. 1: max |error| = {max_err:.2e}");
 
     // Digitize with and without noise.
@@ -52,8 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d_noisy = noisy.digitize(&analog);
     println!(
         "8-bit ADC PSNR: clean {:.1} dB, with shot+read noise {:.1} dB",
-        psnr(&analog.scale(1.0 / T as f32), &d_clean.scale(1.0 / T as f32))?,
-        psnr(&analog.scale(1.0 / T as f32), &d_noisy.scale(1.0 / T as f32))?,
+        psnr(
+            &analog.scale(1.0 / T as f32),
+            &d_clean.scale(1.0 / T as f32)
+        )?,
+        psnr(
+            &analog.scale(1.0 / T as f32),
+            &d_noisy.scale(1.0 / T as f32)
+        )?,
     );
 
     // Sec. V area model.
@@ -74,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.shift_register_wires,
             row.broadcast_wires,
             row.broadcast_wire_side_um,
-            if row.broadcast_exceeds_aps { "no" } else { "yes" }
+            if row.broadcast_exceeds_aps {
+                "no"
+            } else {
+                "yes"
+            }
         );
     }
     println!(

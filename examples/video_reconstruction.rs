@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show one reconstruction next to its ground truth.
     let sample = test.sample(0);
-    let batch = sample
-        .video
-        .frames()
-        .reshape(&[1, T, HW, HW])?;
+    let batch = sample.video.frames().reshape(&[1, T, HW, HW])?;
     let recon = rec.reconstruct(&batch)?.clamp(0.0, 1.0);
     let truth = sample.video.frame(T / 2)?;
     let predicted = recon.index_axis(0, 0)?.index_axis(0, T / 2)?;

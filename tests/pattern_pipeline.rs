@@ -46,7 +46,10 @@ fn every_builtin_pattern_round_trips_through_the_codec() {
         let normalized = encode_batch_normalized(&batch.videos, &mask).expect("normalize");
         // Normalized values stay within the input range [0, 1].
         assert!(
-            normalized.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            normalized
+                .as_slice()
+                .iter()
+                .all(|&v| (0.0..=1.0).contains(&v)),
             "{kind}: normalization must bound values"
         );
     }
@@ -66,8 +69,7 @@ fn decorrelated_pattern_beats_all_builtins_on_correlation() {
     let learned = trainer.train(&data, 100).expect("training");
 
     let eval = Dataset::new(ssv2_like(T, 16, 16), 24);
-    let rho_learned =
-        measure_pattern_correlation(&eval, &learned.mask, 24).expect("measurement");
+    let rho_learned = measure_pattern_correlation(&eval, &learned.mask, 24).expect("measurement");
     for (kind, mask) in all_builtin_masks(7) {
         let rho = measure_pattern_correlation(&eval, &mask, 24).expect("measurement");
         assert!(

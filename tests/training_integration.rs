@@ -36,7 +36,10 @@ fn mae_pretraining_then_transfer_then_finetune() {
     let mut model =
         SnapPixAr::new(VitConfig::snappix_s(HW, HW, SSV2_CLASSES), mask()).expect("geometry");
     let copied = mae.transfer_encoder(model.store_mut());
-    assert!(copied >= 10, "encoder transfer copied only {copied} tensors");
+    assert!(
+        copied >= 10,
+        "encoder transfer copied only {copied} tensors"
+    );
     let report =
         train_action_model(&mut model, &train, &TrainOptions::experiment(4)).expect("fine-tune");
     assert!(report.final_loss().is_finite());

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate provides the API subset the SnapPix bench
+//! suite uses — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple wall-clock harness:
+//!
+//! * each benchmark is warmed up once, then timed over enough iterations to
+//!   fill a small measurement window, and the mean time per iteration is
+//!   printed;
+//! * `--test` mode (what `cargo bench -- --test` and CI smoke runs use)
+//!   executes every benchmark body exactly once and skips measurement;
+//! * no statistics, plots, or saved baselines — recording baselines is done
+//!   by redirecting stdout (see BENCHMARKS.md at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point: owns run mode and accumulates results.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` forwards `--test` to the harness binary;
+        // honour it (and a CRITERION_TEST env var) by running each body once.
+        let test_mode =
+            std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_TEST").is_some();
+        Criterion {
+            test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, sample_size: usize, f: &mut F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("  {label}: ok (test mode)");
+        } else if bencher.iterations > 0 {
+            let mean = bencher.total.as_secs_f64() / bencher.iterations as f64;
+            println!(
+                "  {label}: {} per iter ({} iters)",
+                format_time(mean),
+                bencher.iterations
+            );
+        } else {
+            println!("  {label}: no iterations recorded");
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples (here: minimum iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&label, sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(&label, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; all work already happened).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into a display label.
+pub trait IntoBenchmarkId {
+    /// The label under which results are reported.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    ///
+    /// In `--test` mode the routine runs exactly once, untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup (also primes caches and allocator).
+        black_box(routine());
+        // Measure at least `sample_size` iterations, and keep going until a
+        // ~200 ms window is filled so fast routines get stable means.
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 && start.elapsed() >= window {
+                break;
+            }
+            if iters >= 100_000 {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+/// Declares a group of benchmark functions callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 10,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_applies_sample_size_and_input() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 3usize), &3usize, |b, &n| {
+            b.iter(|| seen = n)
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

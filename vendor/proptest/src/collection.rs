@@ -1,0 +1,75 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{JustTree, Strategy, ValueTree};
+use crate::test_runner::{Reason, TestRunner};
+use rand::Rng;
+
+/// Lengths acceptable to [`vec`]: a fixed `usize` or a `usize` range.
+pub trait SizeRange {
+    /// Picks a concrete length.
+    fn pick(&self, runner: &mut TestRunner) -> Result<usize, Reason>;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _runner: &mut TestRunner) -> Result<usize, Reason> {
+        Ok(*self)
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn pick(&self, runner: &mut TestRunner) -> Result<usize, Reason> {
+        if self.start >= self.end {
+            return Err(format!("empty size range {self:?}"));
+        }
+        Ok(runner.rng.random_range(self.clone()))
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z>
+where
+    S::Value: Clone,
+{
+    type Value = Vec<S::Value>;
+    type Tree = JustTree<Vec<S::Value>>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Self::Tree, Reason> {
+        let len = self.size.pick(runner)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_tree(runner)?.current());
+        }
+        Ok(JustTree(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut runner = TestRunner::deterministic();
+        let fixed = vec(0.0f32..1.0, 5).new_tree(&mut runner).unwrap().current();
+        assert_eq!(fixed.len(), 5);
+        for _ in 0..50 {
+            let ranged = vec(1usize..5, 1..4)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            assert!((1..4).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&x| (1..5).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Strategies: recipes for generating values of a type.
+
+use crate::test_runner::{Reason, TestRunner};
+use rand::Rng;
+
+/// A generated value (real proptest also records how to shrink it; this
+/// stand-in does not shrink).
+pub trait ValueTree {
+    /// The type of value this tree holds.
+    type Value;
+
+    /// The generated value.
+    fn current(&self) -> Self::Value;
+}
+
+/// A tree holding an already-computed value.
+#[derive(Debug, Clone)]
+pub struct JustTree<T>(pub(crate) T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+    /// The tree type produced by [`Strategy::new_tree`].
+    type Tree: ValueTree<Value = Self::Value>;
+
+    /// Generates one value tree using the runner's RNG.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Self::Tree, Reason>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    type Tree = JustTree<O>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Self::Tree, Reason> {
+        let inner = self.source.new_tree(runner)?;
+        Ok(JustTree((self.f)(inner.current())))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            type Tree = JustTree<$t>;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> Result<Self::Tree, Reason> {
+                if self.start >= self.end {
+                    return Err(format!("empty range {:?}", self));
+                }
+                Ok(JustTree(runner.rng.random_range(self.clone())))
+            }
+        }
+    )+};
+}
+
+range_strategy!(usize, u8, u16, u32, u64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = (3usize..7).new_tree(&mut runner).unwrap().current();
+            assert!((3..7).contains(&v));
+            let f = (-1.0f32..1.0).new_tree(&mut runner).unwrap().current();
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn empty_range_is_rejected() {
+        let mut runner = TestRunner::deterministic();
+        assert!((5usize..5).new_tree(&mut runner).is_err());
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut runner = TestRunner::deterministic();
+        let v = (1usize..5)
+            .prop_map(|x| x * 10)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        assert!(v >= 10 && v < 50);
+    }
+}

@@ -1,0 +1,81 @@
+//! Test execution: configuration, the RNG-bearing runner, and case errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Base seed for all runners; chosen once so failures reproduce everywhere.
+const BASE_SEED: u64 = 0x5aa9_9157_c0de_d001;
+
+/// Reason a strategy failed to produce a value.
+pub type Reason = String;
+
+/// Configuration for a `proptest!` block.
+///
+/// Real proptest defaults to 256 cases; this stand-in defaults to 64 to
+/// keep `cargo test -q` fast on training-heavy properties.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Carries the RNG that strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed, for reproducible value generation inside
+    /// test bodies.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(BASE_SEED),
+        }
+    }
+
+    /// The runner used for the `case`-th generated case of a property.
+    pub fn for_case(case: u32) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(
+                BASE_SEED ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            ),
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

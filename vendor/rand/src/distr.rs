@@ -1,0 +1,210 @@
+//! Distributions, mirroring `rand::distr` (rand 0.9).
+
+use crate::{RngCore, StandardSample};
+
+/// Error returned by fallible distribution constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameters: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable from a range; mirrors rand's `SampleUniform`.
+///
+/// A **single generic** `SampleRange` impl is built on this trait (as in
+/// real rand) so integer/float literal inference unifies through
+/// `random_range(0..2)`-style calls.
+pub trait SampleUniform: Copy {
+    /// Validates `[low, high)` as a sampling range.
+    fn validate(low: Self, high: Self) -> Result<(), Error>;
+    /// Validates `[low, high]` as a sampling range.
+    fn validate_inclusive(low: Self, high: Self) -> Result<(), Error>;
+    /// Draws one value uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Draws one value uniformly from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Draws a value in `[0, span)`; `span == 0` encodes the full 2^128 range
+/// (unreachable from the integer impls below, which cap at 2^64 + 1 spans).
+fn sample_below<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        let span64 = span as u64;
+        // Rejection sampling to kill modulo bias.
+        let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return (v % span64) as u128;
+            }
+        }
+    } else {
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        v % span
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn validate(low: Self, high: Self) -> Result<(), Error> {
+                if low >= high {
+                    return Err(Error { what: "low >= high" });
+                }
+                Ok(())
+            }
+
+            fn validate_inclusive(low: Self, high: Self) -> Result<(), Error> {
+                if low > high {
+                    return Err(Error { what: "low > high" });
+                }
+                Ok(())
+            }
+
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + sample_below(span, rng) as i128) as $t
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + sample_below(span, rng) as i128) as $t
+            }
+        }
+    )+};
+}
+
+sample_uniform_int!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn validate(low: Self, high: Self) -> Result<(), Error> {
+                if !low.is_finite() || !high.is_finite() {
+                    return Err(Error { what: "non-finite bound" });
+                }
+                if low >= high {
+                    return Err(Error { what: "low >= high" });
+                }
+                Ok(())
+            }
+
+            fn validate_inclusive(low: Self, high: Self) -> Result<(), Error> {
+                if !low.is_finite() || !high.is_finite() {
+                    return Err(Error { what: "non-finite bound" });
+                }
+                if low > high {
+                    return Err(Error { what: "low > high" });
+                }
+                Ok(())
+            }
+
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let u: $t = StandardSample::sample_standard(rng);
+                let v = low + u * (high - low);
+                // Guard against f.p. rounding landing exactly on `high`.
+                if v < high { v } else { low }
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                if low == high {
+                    return low;
+                }
+                let u: $t = StandardSample::sample_standard(rng);
+                low + u * (high - low)
+            }
+        }
+    )+};
+}
+
+sample_uniform_float!(f32, f64);
+
+/// Uniform distribution over a half-open range `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<X> {
+    low: X,
+    high: X,
+}
+
+impl<X: SampleUniform> Uniform<X> {
+    /// Builds a uniform distribution over `[low, high)`.
+    ///
+    /// Errors if the range is empty (or, for floats, has a non-finite
+    /// bound), matching rand 0.9's fallible constructor.
+    pub fn new(low: X, high: X) -> Result<Self, Error> {
+        X::validate(low, high)?;
+        Ok(Uniform { low, high })
+    }
+}
+
+impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+        X::sample_range(self.low, self.high, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_rejects_bad_bounds() {
+        assert!(Uniform::<f32>::new(1.0, 1.0).is_err());
+        assert!(Uniform::<f32>::new(2.0, 1.0).is_err());
+        assert!(Uniform::<f32>::new(f32::NAN, 1.0).is_err());
+        assert!(Uniform::<f32>::new(0.0, f32::INFINITY).is_err());
+        assert!(Uniform::<usize>::new(3, 3).is_err());
+    }
+
+    #[test]
+    fn uniform_float_stays_in_bounds() {
+        let d = Uniform::new(-2.0f32, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = i32::sample_range(-5, 5, &mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = u64::sample_range_inclusive(0, u64::MAX, &mut rng);
+    }
+}
