@@ -76,6 +76,18 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// Clears the tape so the allocation can be reused for another step.
+    ///
+    /// All [`Var`] handles issued before the reset are invalidated; the
+    /// node and gradient buffers keep their capacity, which is what lets
+    /// callers (e.g. `snappix_nn::SessionPool`) amortize graph allocation
+    /// across repeated forward passes instead of building a fresh `Graph`
+    /// per call.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
+    }
+
     /// Returns `true` if no nodes have been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()

@@ -1,0 +1,81 @@
+//! Criterion microbench: the batched `Pipeline` engine vs a per-clip
+//! loop — the acceptance measurement for the throughput-first API
+//! redesign (numbers recorded in BENCHMARKS.md).
+//!
+//! `pipeline_batch/infer_batch8_*` pushes 8 clips through ONE sensing
+//! pass and ONE model forward; `pipeline_single/per_clip_loop8_*`
+//! classifies the same 8 clips one at a time through the same engine.
+//! Per-call fixed costs — autograd graph construction, parameter
+//! binding, per-op bookkeeping and tensor allocation — amortize over the
+//! batch, so the batched path wins most where clips are small relative
+//! to that overhead (the paper's edge regime, `16x16`); at `32x32` the
+//! per-clip compute grows and the gap narrows. `legacy_system_loop8`
+//! runs the deprecated `SnapPixSystem` shim, whose API forces every clip
+//! through the charge-domain hardware simulation, for the historical
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix::prelude::*;
+
+const T: usize = 16;
+const CLASSES: usize = 10;
+const BATCH: usize = 8;
+
+fn model(hw: usize) -> SnapPixAr {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mask = patterns::random(T, (8, 8), 0.5, &mut rng).expect("valid dims");
+    SnapPixAr::new(VitConfig::snappix_s(hw, hw, CLASSES), mask).expect("geometry")
+}
+
+fn clips(hw: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(0);
+    Tensor::rand_uniform(&mut rng, &[BATCH, T, hw, hw], 0.0, 1.0)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    for hw in [16usize, 32] {
+        let clips = clips(hw);
+        let singles: Vec<Tensor> = (0..BATCH)
+            .map(|b| clips.index_axis(0, b).expect("clip"))
+            .collect();
+
+        let mut group = c.benchmark_group("pipeline_batch");
+        group.sample_size(20);
+        let mut pipeline = Pipeline::builder(model(hw)).build().expect("assembly");
+        group.bench_function(format!("infer_batch{BATCH}_{hw}x{hw}"), |b| {
+            b.iter(|| pipeline.infer(&clips).expect("batched inference"))
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("pipeline_single");
+        group.sample_size(20);
+        let mut pipeline = Pipeline::builder(model(hw)).build().expect("assembly");
+        group.bench_function(format!("per_clip_loop{BATCH}_{hw}x{hw}"), |b| {
+            b.iter(|| {
+                singles
+                    .iter()
+                    .map(|clip| pipeline.infer_clip(clip).expect("inference").label)
+                    .collect::<Vec<usize>>()
+            })
+        });
+
+        #[allow(deprecated)]
+        {
+            let mut system = SnapPixSystem::new(model(hw), ReadoutConfig::noiseless(8, T as f32))
+                .expect("assembly");
+            group.bench_function(format!("legacy_system_loop{BATCH}_{hw}x{hw}"), |b| {
+                b.iter(|| {
+                    singles
+                        .iter()
+                        .map(|clip| system.classify(clip).expect("classify"))
+                        .collect::<Vec<usize>>()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -49,6 +49,7 @@ mod io;
 mod learner;
 mod mask;
 pub mod patterns;
+mod sense;
 mod stats;
 
 pub use encode::{
@@ -61,6 +62,7 @@ pub use learner::{
 };
 pub use mask::ExposureMask;
 pub use patterns::PatternKind;
+pub use sense::{AlgorithmicEncoder, Sense};
 pub use stats::{
     coded_tile_samples, mean_offdiag_abs, mean_offdiag_sq, pearson_matrix, zero_mean_contrast,
 };

@@ -217,15 +217,20 @@ pub fn measure_inference_rate(
         });
     }
     let batch = videos.shape()[0];
+    // A pooled session mirrors how the umbrella `Pipeline` serves
+    // inference: graph and binding allocations are reused across calls.
+    let mut pool = snappix_nn::SessionPool::new();
     // Warm-up pass (graph allocation paths, caches).
     {
-        let mut sess = Session::inference(model.store());
+        let mut sess = pool.inference(model.store());
         model.build_logits(&mut sess, videos)?;
+        pool.reclaim(sess);
     }
     let start = std::time::Instant::now();
     for _ in 0..iterations {
-        let mut sess = Session::inference(model.store());
+        let mut sess = pool.inference(model.store());
         model.build_logits(&mut sess, videos)?;
+        pool.reclaim(sess);
     }
     let elapsed = start.elapsed().as_secs_f64();
     Ok(batch as f64 * iterations as f64 / elapsed.max(1e-9))

@@ -61,7 +61,7 @@ pub use linear::Linear;
 pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd};
-pub use param::{Gradients, ParamId, ParamStore, Session};
+pub use param::{Gradients, ParamId, ParamStore, Session, SessionPool};
 pub use pool::max_pool3d;
 pub use schedule::LrSchedule;
 pub use serialize::{load_params, save_params};

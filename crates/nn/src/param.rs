@@ -214,6 +214,84 @@ impl<'s> Session<'s> {
     }
 }
 
+/// Recycles the allocations behind [`Session`]s so long-lived callers
+/// (inference engines, training loops, throughput harnesses) do not pay
+/// for a fresh graph and binding table on every step.
+///
+/// A pool-opened session behaves exactly like one from [`Session::new`] /
+/// [`Session::inference`]; the only difference is where its buffers come
+/// from. Hand the session back with [`SessionPool::reclaim`] when the
+/// step's values have been read out, and the next open reuses the
+/// capacity:
+///
+/// ```
+/// use snappix_nn::{ParamStore, SessionPool};
+/// use snappix_tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.register("w", Tensor::scalar(2.0));
+/// let mut pool = SessionPool::new();
+/// for _ in 0..3 {
+///     let mut sess = pool.inference(&store);
+///     let w = sess.param(id);
+///     assert_eq!(sess.graph.value(w).as_slice(), &[2.0]);
+///     pool.reclaim(sess);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    graph: Graph,
+    bindings: Vec<Option<Var>>,
+}
+
+impl SessionPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a training session against `store`, reusing pooled buffers.
+    pub fn training<'s>(&mut self, store: &'s ParamStore) -> Session<'s> {
+        self.open(store, true)
+    }
+
+    /// Opens an inference session against `store`, reusing pooled
+    /// buffers.
+    pub fn inference<'s>(&mut self, store: &'s ParamStore) -> Session<'s> {
+        self.open(store, false)
+    }
+
+    fn open<'s>(&mut self, store: &'s ParamStore, train: bool) -> Session<'s> {
+        let mut graph = std::mem::take(&mut self.graph);
+        graph.reset();
+        let mut bindings = std::mem::take(&mut self.bindings);
+        bindings.clear();
+        bindings.resize(store.len(), None);
+        Session {
+            graph,
+            store,
+            bindings,
+            train,
+        }
+    }
+
+    /// Returns a session's buffers to the pool.
+    ///
+    /// The graph is reset (and bindings cleared) immediately, so the
+    /// step's activation tensors and backward closures are dropped now
+    /// rather than pinned until the next open — only the buffer
+    /// *capacity*, the thing the pool exists to reuse, is kept.
+    ///
+    /// Dropping a pool-opened session instead of reclaiming it is safe —
+    /// the pool simply allocates fresh buffers on the next open.
+    pub fn reclaim(&mut self, sess: Session<'_>) {
+        self.graph = sess.graph;
+        self.graph.reset();
+        self.bindings = sess.bindings;
+        self.bindings.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +342,45 @@ mod tests {
         let grads = sess.backward(loss).unwrap();
         assert!(grads.get(id).is_none());
         assert!(!sess.train);
+    }
+
+    #[test]
+    fn pooled_sessions_match_fresh_sessions() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let mut pool = SessionPool::new();
+        for _ in 0..3 {
+            let mut pooled = pool.training(&store);
+            let mut fresh = Session::new(&store);
+            let (wp, wf) = (pooled.param(id), fresh.param(id));
+            let (sp, sf) = (
+                pooled.graph.mul(wp, wp).unwrap(),
+                fresh.graph.mul(wf, wf).unwrap(),
+            );
+            let (lp, lf) = (pooled.graph.sum(sp).unwrap(), fresh.graph.sum(sf).unwrap());
+            let gp = pooled.backward(lp).unwrap();
+            let gf = fresh.backward(lf).unwrap();
+            assert_eq!(
+                gp.get(id).unwrap().as_slice(),
+                gf.get(id).unwrap().as_slice()
+            );
+            pool.reclaim(pooled);
+        }
+    }
+
+    #[test]
+    fn pool_reuse_resets_graph_and_bindings() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(5.0));
+        let mut pool = SessionPool::new();
+        let mut first = pool.inference(&store);
+        first.param(id);
+        first.input(Tensor::scalar(1.0));
+        assert_eq!(first.graph.len(), 2);
+        pool.reclaim(first);
+        let second = pool.inference(&store);
+        assert!(second.graph.is_empty(), "reclaimed graph must be reset");
+        assert!(!second.train);
     }
 
     #[test]

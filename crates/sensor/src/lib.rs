@@ -14,6 +14,10 @@
 //! * [`CeSensor`] — a full array with per-tile shift-register pattern
 //!   streaming, the slot protocol of Sec. V, and cycle accounting;
 //! * [`Readout`] — shot noise, read noise and ADC quantization;
+//! * [`HardwareSensor`] — the deployment-path [`snappix_ce::Sense`]
+//!   backend: capture + readout + normalization behind the same trait as
+//!   the algorithmic encoder, so inference pipelines swap paths via
+//!   generics;
 //! * [`area`] — the area model: per-pixel logic (30 µm² at 65 nm, 3.2 µm²
 //!   scaled to 22 nm) and the wire-area comparison against the broadcast
 //!   alternative (2N wires/pixel), regenerating the Sec. V numbers.
@@ -44,11 +48,13 @@
 pub mod area;
 mod array;
 mod error;
+mod hardware;
 mod pixel;
 mod readout;
 
 pub use array::{CaptureStats, CeSensor};
 pub use error::SensorError;
+pub use hardware::HardwareSensor;
 pub use pixel::CePixel;
 pub use readout::{Readout, ReadoutConfig};
 

@@ -1,0 +1,137 @@
+//! The workspace-unified error type of the umbrella crate.
+
+use std::fmt;
+
+/// Unified error for the umbrella API: every sub-crate error converts
+/// into it via `From`, so `?` works across the whole stack and callers
+/// match one type.
+///
+/// The enum is `#[non_exhaustive]`: future sub-systems can add variants
+/// without a breaking release, so downstream matches need a `_` arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tensor operation failed.
+    Tensor(snappix_tensor::TensorError),
+    /// An autograd operation failed.
+    Autograd(snappix_autograd::AutogradError),
+    /// A neural-network layer or optimizer failed.
+    Nn(snappix_nn::NnError),
+    /// A coded-exposure component (codec, mask, mask learner) failed.
+    Ce(snappix_ce::CeError),
+    /// The sensor hardware simulation failed.
+    Sensor(snappix_sensor::SensorError),
+    /// The vision model failed.
+    Model(snappix_models::ModelError),
+    /// The pipeline itself was misused or misassembled (backend/model
+    /// mask mismatch, malformed clip batch, ...).
+    Pipeline {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Autograd(e) => write!(f, "autograd error: {e}"),
+            Error::Nn(e) => write!(f, "nn error: {e}"),
+            Error::Ce(e) => write!(f, "coded-exposure error: {e}"),
+            Error::Sensor(e) => write!(f, "sensor error: {e}"),
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::Pipeline { context } => write!(f, "pipeline error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Autograd(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Ce(e) => Some(e),
+            Error::Sensor(e) => Some(e),
+            Error::Model(e) => Some(e),
+            Error::Pipeline { .. } => None,
+        }
+    }
+}
+
+impl From<snappix_tensor::TensorError> for Error {
+    fn from(e: snappix_tensor::TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<snappix_autograd::AutogradError> for Error {
+    fn from(e: snappix_autograd::AutogradError) -> Self {
+        Error::Autograd(e)
+    }
+}
+
+impl From<snappix_nn::NnError> for Error {
+    fn from(e: snappix_nn::NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<snappix_ce::CeError> for Error {
+    fn from(e: snappix_ce::CeError) -> Self {
+        Error::Ce(e)
+    }
+}
+
+impl From<snappix_sensor::SensorError> for Error {
+    fn from(e: snappix_sensor::SensorError) -> Self {
+        Error::Sensor(e)
+    }
+}
+
+impl From<snappix_models::ModelError> for Error {
+    fn from(e: snappix_models::ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subcrate_error_converts_and_chains() {
+        let cases: Vec<Error> = vec![
+            snappix_tensor::TensorError::InvalidArgument {
+                context: "t".into(),
+            }
+            .into(),
+            snappix_autograd::AutogradError::InvalidVar { index: 0, nodes: 0 }.into(),
+            snappix_nn::NnError::Config {
+                context: "n".into(),
+            }
+            .into(),
+            snappix_ce::CeError::InvalidMask {
+                context: "c".into(),
+            }
+            .into(),
+            snappix_sensor::SensorError::Geometry {
+                context: "s".into(),
+            }
+            .into(),
+            snappix_models::ModelError::Input {
+                context: "m".into(),
+            }
+            .into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_some(), "{e} has a source");
+        }
+        let p = Error::Pipeline {
+            context: "mask mismatch".into(),
+        };
+        assert!(p.to_string().contains("mask mismatch"));
+        assert!(std::error::Error::source(&p).is_none());
+    }
+}

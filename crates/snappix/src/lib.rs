@@ -10,12 +10,18 @@
 //! downstream vision model is a ViT co-designed with the tile-repetitive
 //! pattern.
 //!
-//! This crate is the public face of the workspace: it re-exports every
-//! subsystem and adds [`SnapPixSystem`], an end-to-end pipeline that runs
-//! a clip through the *hardware sensor simulation* (per-pixel charge
-//! model, shift-register pattern streaming, ADC) and classifies the coded
-//! image — plus [`EdgeNode`], the energy accounting for deployment
-//! planning.
+//! This crate is the public face of the workspace. Its centerpiece is
+//! [`Pipeline`], a throughput-first batched inference engine built via
+//! [`PipelineBuilder`]: it owns a persistent session (graph allocations
+//! are reused across calls), accepts `[batch, t, h, w]` clip batches, and
+//! is generic over the [`Sense`](snappix_ce::Sense) backend so the
+//! training-time algorithmic encoder
+//! ([`AlgorithmicEncoder`](snappix_ce::AlgorithmicEncoder)) and the
+//! deployment-time hardware simulation
+//! ([`HardwareSensor`](snappix_sensor::HardwareSensor)) run through
+//! identical code. [`EdgeNode`] prices deployments with the paper's
+//! energy model, [`evaluate_deployment`] combines both, and every failure
+//! across the stack surfaces as the unified [`Error`].
 //!
 //! # Quickstart
 //!
@@ -35,11 +41,25 @@
 //! let mut model = SnapPixAr::new(VitConfig::snappix_s(32, 32, 10), learned.mask.clone())?;
 //! train_action_model(&mut model, &train, &TrainOptions::experiment(10))?;
 //!
-//! // 4. Deploy: run clips through the simulated sensor hardware.
-//! let mut system = SnapPixSystem::new(model, ReadoutConfig::default())?;
-//! let sample = test.sample(0);
-//! let predicted = system.classify(sample.video.frames())?;
-//! println!("predicted class {predicted}, truth {}", sample.label);
+//! // 4. Deploy: a batched engine over the simulated sensor hardware.
+//! let mut pipeline = Pipeline::builder(model)
+//!     .with_hardware_sensor(ReadoutConfig::default())?
+//!     .with_max_pending(8)
+//!     .build()?;
+//!
+//! // Batched inference: one forward pass for the whole batch.
+//! let batch = test.batch(0, 8);
+//! let out = pipeline.infer(&batch.videos)?;
+//! println!("predicted {:?}, truth {:?}", out.labels, batch.labels);
+//!
+//! // Single-clip callers reach the same batched path via submit/flush.
+//! for i in 0..test.len() {
+//!     if let Some(done) = pipeline.submit(test.sample(i).video.frames())? {
+//!         println!("micro-batch of {} classified", done.len());
+//!     }
+//! }
+//! let rest = pipeline.flush()?;
+//! println!("{} stragglers classified", rest.len());
 //! # Ok(())
 //! # }
 //! ```
@@ -47,21 +67,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod node;
+mod pipeline;
 mod report;
 mod system;
 
+pub use error::Error;
 pub use node::EdgeNode;
+pub use pipeline::{Inference, Pipeline, PipelineBuilder, Prediction};
 pub use report::{evaluate_deployment, DeploymentReport};
+#[allow(deprecated)]
 pub use system::{SnapPixSystem, SystemError};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{evaluate_deployment, DeploymentReport, EdgeNode, SnapPixSystem, SystemError};
+    #[allow(deprecated)]
+    pub use crate::SnapPixSystem;
+    pub use crate::{
+        evaluate_deployment, DeploymentReport, EdgeNode, Error, Inference, Pipeline,
+        PipelineBuilder, Prediction,
+    };
     pub use snappix_ce::{
         encode, encode_batch, encode_batch_normalized, encode_normalized,
-        measure_pattern_correlation, normalize_coded, patterns, DecorrelationConfig,
-        DecorrelationTrainer, ExposureMask, PatternKind,
+        measure_pattern_correlation, normalize_coded, patterns, AlgorithmicEncoder,
+        DecorrelationConfig, DecorrelationTrainer, ExposureMask, PatternKind, Sense,
     };
     pub use snappix_energy::{EnergyModel, Scenario, Wireless};
     pub use snappix_models::{
@@ -69,7 +99,7 @@ pub mod prelude {
         DownsampleVideoVit, MaeConfig, MaePretrainer, SnapPixAr, SnapPixRec, Svc2d, TrainOptions,
         VideoVit, VitConfig,
     };
-    pub use snappix_sensor::{CeSensor, Readout, ReadoutConfig};
+    pub use snappix_sensor::{CeSensor, HardwareSensor, Readout, ReadoutConfig};
     pub use snappix_tensor::Tensor;
     pub use snappix_video::{k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video};
 }

@@ -5,15 +5,28 @@ use snappix_energy::{EnergyBreakdown, EnergyModel, Scenario, Wireless};
 /// An edge sensing node description, combining the sensor geometry with an
 /// offload link to price deployments (paper Sec. VI-D).
 ///
+/// Configuration follows the workspace's builder-style `with_*` idiom
+/// shared with [`PipelineBuilder`](crate::PipelineBuilder): constructors
+/// pick documented defaults and each `with_*` method returns `self` with
+/// one knob changed. In particular, [`EdgeNode::new`] prices components
+/// with [`EnergyModel::paper`] — override it explicitly with
+/// [`with_energy_model`](Self::with_energy_model) for sensitivity
+/// studies.
+///
 /// # Examples
 ///
 /// ```
 /// use snappix::EdgeNode;
-/// use snappix_energy::Wireless;
+/// use snappix_energy::{EnergyModel, Wireless};
 ///
 /// let node = EdgeNode::new(112 * 112, 16, Wireless::LoraBackscatter);
-/// let saving = node.snappix_saving();
-/// assert!(saving > 10.0); // the paper reports 15.4x at long range
+/// assert!(node.snappix_saving() > 10.0); // the paper reports 15.4x at long range
+///
+/// // Same node, re-priced with a custom component model and a short link.
+/// let custom = node
+///     .with_energy_model(EnergyModel::paper())
+///     .with_wireless(Wireless::PassiveWifi);
+/// assert!(custom.snappix_saving() > 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeNode {
@@ -24,6 +37,9 @@ pub struct EdgeNode {
 impl EdgeNode {
     /// Describes a node capturing `frame_pixels`-pixel frames in windows
     /// of `slots` frames, offloading over `wireless`.
+    ///
+    /// Defaults to the paper's component energy model
+    /// ([`EnergyModel::paper`]).
     pub fn new(frame_pixels: usize, slots: usize, wireless: Wireless) -> Self {
         EdgeNode {
             model: EnergyModel::paper(),
@@ -36,8 +52,16 @@ impl EdgeNode {
     }
 
     /// Replaces the component energy model (for sensitivity studies).
+    #[must_use]
     pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Replaces the offload link.
+    #[must_use]
+    pub fn with_wireless(mut self, wireless: Wireless) -> Self {
+        self.scenario.wireless = wireless;
         self
     }
 
@@ -83,6 +107,19 @@ mod tests {
         let cheaper_ce = node.with_energy_model(custom);
         assert!(cheaper_ce.snappix_saving() > node.snappix_saving());
         assert_eq!(node.scenario().slots, 16);
+    }
+
+    #[test]
+    fn with_wireless_swaps_only_the_link() {
+        let short = EdgeNode::new(112 * 112, 16, Wireless::PassiveWifi);
+        let long = short.with_wireless(Wireless::LoraBackscatter);
+        assert_eq!(long.scenario().slots, 16);
+        assert!(long.snappix_saving() > short.snappix_saving());
+        assert_eq!(
+            long.with_wireless(Wireless::PassiveWifi),
+            short,
+            "round-tripping the link restores the node"
+        );
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! The throughput-first inference engine: batched clips in, logits and
+//! labels per clip out.
+//!
+//! [`Pipeline`] replaces the one-clip-at-a-time `SnapPixSystem`: it owns
+//! a persistent [`SessionPool`] so the autograd graph and parameter
+//! bindings are reused across calls instead of being reallocated per
+//! clip, it accepts `[batch, t, h, w]` clip batches so the whole batch
+//! shares one forward pass, and it is generic over the [`Sense`] backend
+//! so the training-time algorithmic encoder and the deployment-time
+//! hardware simulation run through identical code.
+
+use crate::Error;
+use snappix_ce::{AlgorithmicEncoder, Sense};
+use snappix_models::{ActionModel, SnapPixAr};
+use snappix_nn::SessionPool;
+use snappix_sensor::{HardwareSensor, ReadoutConfig};
+use snappix_tensor::Tensor;
+
+/// Result of classifying one clip: the raw class logits and the winning
+/// label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class index.
+    pub label: usize,
+    /// Raw class logits `[classes]`.
+    pub logits: Tensor,
+}
+
+/// Result of one batched inference: per-clip logits and labels, in the
+/// order the clips were passed (or submitted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// Raw class logits `[batch, classes]`.
+    pub logits: Tensor,
+    /// Predicted class index per clip.
+    pub labels: Vec<usize>,
+}
+
+impl Inference {
+    /// Number of clips in this inference.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when no clips were inferred (e.g. flushing an
+    /// empty queue).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Extracts clip `i` as a standalone [`Prediction`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `i` is out of range.
+    pub fn prediction(&self, i: usize) -> Result<Prediction, Error> {
+        let logits = self.logits.index_axis(0, i)?;
+        Ok(Prediction {
+            label: self.labels[i],
+            logits,
+        })
+    }
+}
+
+/// Staged construction of a [`Pipeline`], following the workspace's
+/// builder-style `with_*` idiom (each method returns `self` with one
+/// knob changed; [`PipelineBuilder::build`] validates the assembly).
+///
+/// Created by [`Pipeline::builder`], which starts from the
+/// training-time [`AlgorithmicEncoder`] backend; swap in the hardware
+/// simulation with [`with_hardware_sensor`](Self::with_hardware_sensor)
+/// or any custom [`Sense`] implementation with
+/// [`with_backend`](Self::with_backend).
+#[derive(Debug)]
+pub struct PipelineBuilder<S: Sense = AlgorithmicEncoder> {
+    model: SnapPixAr,
+    backend: S,
+    max_pending: usize,
+}
+
+impl<S: Sense> PipelineBuilder<S> {
+    /// Replaces the sensing backend with any [`Sense`] implementation.
+    ///
+    /// The backend must run the same exposure mask as the model and
+    /// agree with the model's `normalize_by_exposure` flag (reported via
+    /// [`Sense::normalizes`]); [`build`](Self::build) enforces both.
+    /// [`Pipeline::builder`] and
+    /// [`with_hardware_sensor`](Self::with_hardware_sensor) sync the
+    /// normalization flag automatically; when constructing an
+    /// [`AlgorithmicEncoder`] or [`HardwareSensor`] by hand, pass
+    /// `.with_normalization(model.normalize_by_exposure)`.
+    #[must_use]
+    pub fn with_backend<S2: Sense>(self, backend: S2) -> PipelineBuilder<S2> {
+        PipelineBuilder {
+            model: self.model,
+            backend,
+            max_pending: self.max_pending,
+        }
+    }
+
+    /// Switches to the deployment path: clips pass through the simulated
+    /// charge-domain sensor and a readout chain built from `readout`.
+    ///
+    /// The sensor geometry and mask are taken from the model, and the
+    /// readout's `full_scale` is overridden to the mask's slot count so
+    /// the ADC range matches the worst-case accumulated charge (the same
+    /// convention the deprecated `SnapPixSystem::new` applied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sensor`] when the model's geometry cannot form a
+    /// sensor.
+    pub fn with_hardware_sensor(
+        self,
+        readout: ReadoutConfig,
+    ) -> Result<PipelineBuilder<HardwareSensor>, Error> {
+        let cfg = self.model.encoder().config();
+        let backend = HardwareSensor::new(cfg.height, cfg.width, self.model.mask().clone())?
+            .with_readout(ReadoutConfig {
+                full_scale: self.model.mask().num_slots() as f32,
+                ..readout
+            })
+            .with_normalization(self.model.normalize_by_exposure);
+        Ok(PipelineBuilder {
+            model: self.model,
+            backend,
+            max_pending: self.max_pending,
+        })
+    }
+
+    /// Sets the micro-batch size of the [`Pipeline::submit`] queue: once
+    /// this many clips are pending, `submit` flushes them through one
+    /// batched forward pass. Defaults to 8.
+    #[must_use]
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Assembles the pipeline, validating that the backend and the model
+    /// run the same exposure mask and agree on exposure-count
+    /// normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Pipeline`] on a backend/model mask or
+    /// normalization mismatch.
+    pub fn build(self) -> Result<Pipeline<S>, Error> {
+        if self.backend.normalizes() != self.model.normalize_by_exposure {
+            return Err(Error::Pipeline {
+                context: format!(
+                    "backend normalization ({}) contradicts the model's \
+                     normalize_by_exposure flag ({}): inputs would be scaled \
+                     differently from the model's training data",
+                    self.backend.normalizes(),
+                    self.model.normalize_by_exposure
+                ),
+            });
+        }
+        self.build_unchecked()
+    }
+
+    /// Like [`build`](Self::build) but skips the normalization-agreement
+    /// check (the mask check still applies). Crate-internal: the
+    /// deprecated `SnapPixSystem` shim preserves the legacy quirk of
+    /// normalizing `sense` output even for unnormalized models.
+    pub(crate) fn build_unchecked(self) -> Result<Pipeline<S>, Error> {
+        if self.backend.mask() != self.model.mask() {
+            return Err(Error::Pipeline {
+                context: format!(
+                    "backend mask ({} slots, tile {:?}) differs from the model's \
+                     co-designed mask ({} slots, tile {:?})",
+                    self.backend.mask().num_slots(),
+                    self.backend.mask().tile(),
+                    self.model.mask().num_slots(),
+                    self.model.mask().tile()
+                ),
+            });
+        }
+        Ok(Pipeline {
+            model: self.model,
+            backend: self.backend,
+            pool: SessionPool::new(),
+            pending: Vec::new(),
+            max_pending: self.max_pending,
+        })
+    }
+}
+
+/// The batched SnapPix inference engine.
+///
+/// Clips go through the [`Sense`] backend (algorithmic encoder or
+/// hardware simulation), the coded images drive the co-designed ViT in
+/// *one* forward pass per batch, and the session behind that pass is
+/// reused across calls via a persistent [`SessionPool`] — the structure
+/// a node serving heavy traffic needs, instead of the per-clip
+/// allocate-and-drop of the deprecated `SnapPixSystem`.
+///
+/// Single-clip callers can still reach batched throughput through the
+/// [`submit`](Self::submit)/[`flush`](Self::flush) micro-batching queue.
+///
+/// # Examples
+///
+/// ```no_run
+/// use snappix::prelude::*;
+///
+/// # fn main() -> Result<(), snappix::Error> {
+/// let mask = patterns::long_exposure(8, (8, 8))?;
+/// let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask)?;
+/// let mut pipeline = Pipeline::builder(model).build()?;
+/// let clips = Tensor::zeros(&[8, 8, 16, 16]); // [batch, t, h, w]
+/// let out = pipeline.infer(&clips)?;
+/// assert_eq!(out.labels.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Pipeline<S: Sense = AlgorithmicEncoder> {
+    model: SnapPixAr,
+    backend: S,
+    pool: SessionPool,
+    pending: Vec<Tensor>,
+    max_pending: usize,
+}
+
+impl<S: Sense> std::fmt::Debug for Pipeline<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("model", &self.model.name().to_string())
+            .field("classes", &self.model.num_classes())
+            .field("pending", &self.pending.len())
+            .field("max_pending", &self.max_pending)
+            .finish()
+    }
+}
+
+impl Pipeline<AlgorithmicEncoder> {
+    /// Starts building a pipeline around `model`, defaulting to the
+    /// training-time [`AlgorithmicEncoder`] backend configured from the
+    /// model's own mask and normalization flag.
+    pub fn builder(model: SnapPixAr) -> PipelineBuilder<AlgorithmicEncoder> {
+        let backend = AlgorithmicEncoder::new(model.mask().clone())
+            .with_normalization(model.normalize_by_exposure);
+        PipelineBuilder {
+            model,
+            backend,
+            max_pending: 8,
+        }
+    }
+}
+
+impl<S: Sense> Pipeline<S>
+where
+    Error: From<S::Error>,
+{
+    /// The vision model.
+    pub fn model(&self) -> &SnapPixAr {
+        &self.model
+    }
+
+    /// The sensing backend.
+    ///
+    /// Only shared access is offered: replacing or reconfiguring the
+    /// backend could break the mask/normalization agreement that
+    /// [`PipelineBuilder::build`] validated — rebuild through the
+    /// builder instead.
+    pub fn backend(&self) -> &S {
+        &self.backend
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    /// Clips currently queued by [`submit`](Self::submit).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The micro-batch size at which [`submit`](Self::submit)
+    /// auto-flushes.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Senses one `[t, h, w]` clip into the coded image the node would
+    /// transmit, without classifying it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the backend.
+    pub fn sense(&mut self, clip: &Tensor) -> Result<Tensor, Error> {
+        self.backend.sense(clip).map_err(Error::from)
+    }
+
+    /// Classifies a `[batch, t, h, w]` clip batch in one model forward
+    /// pass, reusing the pipeline's session. Sensing is batched when the
+    /// backend supports it (the algorithmic encoder does; the hardware
+    /// simulation captures clip by clip, as a physical sensor would).
+    ///
+    /// Batching is the throughput path: per-clip graph construction and
+    /// tensor allocation are amortized over the whole batch (see the
+    /// `pipeline` criterion bench and BENCHMARKS.md).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clips do not match the backend or the model.
+    pub fn infer(&mut self, clips: &Tensor) -> Result<Inference, Error> {
+        let coded = self.backend.sense_batch(clips)?;
+        self.infer_coded(&coded)
+    }
+
+    /// Classifies one `[t, h, w]` clip.
+    ///
+    /// Prefer [`infer`](Self::infer) (or
+    /// [`submit`](Self::submit)/[`flush`](Self::flush)) when more than
+    /// one clip is available — the batched path is substantially faster
+    /// than a loop over this method.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the backend or the model.
+    pub fn infer_clip(&mut self, clip: &Tensor) -> Result<Prediction, Error> {
+        let coded = self.backend.sense(clip)?;
+        let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
+        self.infer_coded(&batch)?.prediction(0)
+    }
+
+    /// Classifies one `[t, h, w]` clip and returns only the label.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the backend or the model.
+    pub fn classify(&mut self, clip: &Tensor) -> Result<usize, Error> {
+        Ok(self.infer_clip(clip)?.label)
+    }
+
+    /// Queues one `[t, h, w]` clip for micro-batched inference.
+    ///
+    /// Returns `Ok(None)` while the queue is filling; once
+    /// [`max_pending`](Self::max_pending) clips are pending the queue is
+    /// flushed through one batched forward pass and the drained batch's
+    /// [`Inference`] is returned (clip order = submission order). Call
+    /// [`flush`](Self::flush) to force out a partial batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clip does not match the model's `[t, h, w]`
+    /// geometry — rejected up front so one bad clip can never poison an
+    /// already-filled queue at flush time. Sensing/model errors still
+    /// surface at flush time.
+    pub fn submit(&mut self, clip: &Tensor) -> Result<Option<Inference>, Error> {
+        let cfg = self.model.encoder().config();
+        let expected = [self.model.mask().num_slots(), cfg.height, cfg.width];
+        if clip.shape() != expected {
+            return Err(Error::Pipeline {
+                context: format!(
+                    "submit expects a [t, h, w] = {expected:?} clip, got {:?}",
+                    clip.shape()
+                ),
+            });
+        }
+        self.pending.push(clip.clone());
+        if self.pending.len() >= self.max_pending {
+            return Ok(Some(self.flush()?));
+        }
+        Ok(None)
+    }
+
+    /// Drains the [`submit`](Self::submit) queue through one batched
+    /// forward pass.
+    ///
+    /// Flushing an empty queue returns an empty [`Inference`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when a queued clip does not match the backend or the model;
+    /// the queue is drained either way.
+    pub fn flush(&mut self) -> Result<Inference, Error> {
+        if self.pending.is_empty() {
+            return Ok(Inference {
+                logits: Tensor::zeros(&[0, self.model.num_classes()]),
+                labels: Vec::new(),
+            });
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let refs: Vec<&Tensor> = pending.iter().collect();
+        let clips = Tensor::stack(&refs, 0)?;
+        self.infer(&clips)
+    }
+
+    /// One batched forward pass over already-coded `[batch, h, w]`
+    /// images, reusing the pooled session.
+    fn infer_coded(&mut self, coded: &Tensor) -> Result<Inference, Error> {
+        let mut sess = self.pool.inference(self.model.store());
+        let logits = self
+            .model
+            .build_logits_from_coded(&mut sess, coded)
+            .map(|var| sess.graph.value(var).clone());
+        self.pool.reclaim(sess);
+        let logits = logits?;
+        let labels = logits.argmax_axis(1)?;
+        Ok(Inference { logits, labels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snappix_ce::patterns;
+    use snappix_models::VitConfig;
+    use snappix_tensor::argmax_coords;
+
+    fn model() -> SnapPixAr {
+        let mask = patterns::long_exposure(4, (8, 8)).unwrap();
+        SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask).unwrap()
+    }
+
+    fn clips(batch: usize) -> Tensor {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        Tensor::rand_uniform(&mut rng, &[batch, 4, 16, 16], 0.0, 1.0)
+    }
+
+    #[test]
+    fn batched_infer_matches_per_clip_inference() {
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        let clips = clips(3);
+        let batched = p.infer(&clips).unwrap();
+        assert_eq!(batched.logits.shape(), &[3, 5]);
+        assert_eq!(batched.len(), 3);
+        assert!(!batched.is_empty());
+        for b in 0..3 {
+            let single = p.infer_clip(&clips.index_axis(0, b).unwrap()).unwrap();
+            let row = batched.prediction(b).unwrap();
+            assert_eq!(single.label, row.label);
+            assert!(single.logits.approx_eq(&row.logits, 0.0), "clip {b}");
+        }
+    }
+
+    #[test]
+    fn repeated_infer_reuses_session_and_is_deterministic() {
+        // Regression test for the old `SnapPixSystem::logits`, which
+        // rebuilt the graph and session on every call: repeated calls on
+        // the same pipeline must produce identical logits.
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        let clips = clips(2);
+        let first = p.infer(&clips).unwrap();
+        for _ in 0..3 {
+            let again = p.infer(&clips).unwrap();
+            assert!(again.logits.approx_eq(&first.logits, 0.0));
+            assert_eq!(again.labels, first.labels);
+        }
+    }
+
+    #[test]
+    fn submit_flush_microbatches_in_order() {
+        let mut p = Pipeline::builder(model())
+            .with_max_pending(2)
+            .build()
+            .unwrap();
+        assert_eq!(p.max_pending(), 2);
+        let clips = clips(3);
+        let c: Vec<Tensor> = (0..3).map(|b| clips.index_axis(0, b).unwrap()).collect();
+
+        assert!(p.submit(&c[0]).unwrap().is_none());
+        assert_eq!(p.pending(), 1);
+        let auto = p.submit(&c[1]).unwrap().expect("auto-flush at capacity");
+        assert_eq!(auto.len(), 2);
+        assert_eq!(p.pending(), 0);
+        assert!(p.submit(&c[2]).unwrap().is_none());
+        let partial = p.flush().unwrap();
+        assert_eq!(partial.len(), 1);
+
+        // Order and values match direct per-clip inference.
+        for (i, clip) in c.iter().enumerate().take(2) {
+            let direct = p.infer_clip(clip).unwrap();
+            assert_eq!(direct.label, auto.labels[i]);
+        }
+        assert_eq!(p.infer_clip(&c[2]).unwrap().label, partial.labels[0]);
+
+        // Flushing an empty queue is a harmless no-op.
+        assert!(p.flush().unwrap().is_empty());
+        // Submitting a batch where a clip belongs is rejected up front.
+        assert!(p.submit(&clips).is_err());
+        // So is a rank-3 clip of the wrong geometry — and neither
+        // rejection poisons clips already queued.
+        assert!(p.submit(&c[0]).unwrap().is_none());
+        assert!(p.submit(&Tensor::zeros(&[4, 8, 8])).is_err());
+        assert_eq!(p.pending(), 1);
+        assert_eq!(p.flush().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn hardware_backend_agrees_with_algorithmic_on_argmax() {
+        let mut sw = Pipeline::builder(model()).build().unwrap();
+        let mut hw = Pipeline::builder(model())
+            .with_hardware_sensor(ReadoutConfig::noiseless(12, 4.0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let clips = clips(2);
+        let a = sw.infer(&clips).unwrap();
+        let b = hw.infer(&clips).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(
+            argmax_coords(&a.logits),
+            argmax_coords(&b.logits),
+            "12-bit noiseless ADC must not flip the decision"
+        );
+        assert!(hw.backend().stats().pixels_read > 0);
+    }
+
+    #[test]
+    fn builder_rejects_mask_mismatch_and_bad_shapes() {
+        let other_mask = patterns::short_exposure(4, (8, 8), 2).unwrap();
+        let err = Pipeline::builder(model())
+            .with_backend(AlgorithmicEncoder::new(other_mask))
+            .build();
+        assert!(matches!(err, Err(Error::Pipeline { .. })));
+
+        // A backend whose normalization contradicts the model's flag is
+        // rejected too — it would silently rescale the model's inputs.
+        let m = model();
+        let backend = AlgorithmicEncoder::new(m.mask().clone()).with_normalization(false);
+        let err = Pipeline::builder(m).with_backend(backend).build();
+        assert!(matches!(err, Err(Error::Pipeline { .. })));
+
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        assert!(p.infer(&Tensor::zeros(&[4, 16, 16])).is_err());
+        assert!(p.infer_clip(&Tensor::zeros(&[3, 16, 16])).is_err());
+        assert_eq!(p.num_classes(), 5);
+        assert!(format!("{p:?}").contains("Pipeline"));
+    }
+
+    #[test]
+    fn sense_exposes_the_backend_coded_image() {
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        let coded = p.sense(&Tensor::full(&[4, 16, 16], 0.5)).unwrap();
+        assert_eq!(coded.shape(), &[16, 16]);
+        // Long exposure of constant 0.5, normalized -> 0.5.
+        assert!(coded.approx_eq(&Tensor::full(&[16, 16], 0.5), 1e-6));
+        assert!(p.backend().normalizes());
+    }
+}

@@ -1,12 +1,14 @@
 //! Deployment evaluation: accuracy, protocol activity and energy of a
-//! [`SnapPixSystem`](crate::SnapPixSystem) over a dataset, in one report.
+//! hardware-backed [`Pipeline`](crate::Pipeline) over a dataset, in one
+//! report.
 
-use crate::{EdgeNode, SnapPixSystem, SystemError};
+use crate::{EdgeNode, Error, Pipeline};
 use snappix_energy::Wireless;
+use snappix_sensor::HardwareSensor;
 use snappix_video::Dataset;
 
-/// Result of evaluating a deployed system over a dataset through the full
-/// hardware simulation path.
+/// Result of evaluating a deployed pipeline over a dataset through the
+/// full hardware simulation path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentReport {
     /// Clips evaluated.
@@ -47,34 +49,57 @@ impl DeploymentReport {
     }
 }
 
-/// Runs every clip of `dataset` through the hardware path of `system` and
-/// combines the outcome with the energy model for `wireless`.
+/// Runs every clip of `dataset` through the hardware path of `pipeline`
+/// and combines the outcome with the energy model for `wireless`.
+///
+/// Clips are served through the pipeline's
+/// [`submit`](Pipeline::submit)/[`flush`](Pipeline::flush) micro-batching
+/// queue, so the model forward passes are batched exactly as a deployed
+/// node would batch them.
 ///
 /// # Errors
 ///
-/// Returns [`SystemError`] when a clip does not match the sensor, and a
-/// `SystemError::Model` wrapping an input error for an empty dataset.
+/// Returns [`Error`] when a clip does not match the sensor, and
+/// [`Error::Pipeline`] for an empty dataset or when the pipeline still
+/// has clips pending from an earlier [`submit`](Pipeline::submit) (they
+/// would misalign the evaluation's labels — flush them first).
 pub fn evaluate_deployment(
-    system: &mut SnapPixSystem,
+    pipeline: &mut Pipeline<HardwareSensor>,
     dataset: &Dataset,
     wireless: Wireless,
-) -> Result<DeploymentReport, SystemError> {
+) -> Result<DeploymentReport, Error> {
     if dataset.is_empty() {
-        return Err(SystemError::Model(snappix_models::ModelError::Input {
+        return Err(Error::Pipeline {
             context: "deployment evaluation needs a non-empty dataset".to_string(),
-        }));
+        });
     }
-    let mut correct = 0usize;
+    if pipeline.pending() != 0 {
+        return Err(Error::Pipeline {
+            context: format!(
+                "deployment evaluation needs an empty submit queue, but {} clip(s) \
+                 are pending — call flush() first",
+                pipeline.pending()
+            ),
+        });
+    }
+    let mut labels = Vec::with_capacity(dataset.len());
     for i in 0..dataset.len() {
-        let sample = dataset.sample(i);
-        if system.classify(sample.video.frames())? == sample.label {
-            correct += 1;
+        if let Some(batch) = pipeline.submit(dataset.sample(i).video.frames())? {
+            labels.extend(batch.labels);
         }
     }
-    let stats = system.last_capture_stats();
+    labels.extend(pipeline.flush()?.labels);
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &label)| label == dataset.sample(i).label)
+        .count();
+
+    let stats = pipeline.backend().stats();
+    let sensor = pipeline.backend().sensor();
     let node = EdgeNode::new(
-        system.sensor().height() * system.sensor().width(),
-        system.model().mask().num_slots(),
+        sensor.height() * sensor.width(),
+        pipeline.model().mask().num_slots(),
         wireless,
     );
     Ok(DeploymentReport {
@@ -95,18 +120,22 @@ mod tests {
     use snappix_sensor::ReadoutConfig;
     use snappix_video::ssv2_like;
 
-    fn system() -> SnapPixSystem {
+    fn pipeline() -> Pipeline<HardwareSensor> {
         let mask = patterns::long_exposure(8, (8, 8)).expect("valid dims");
         let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 10), mask).expect("geometry");
-        SnapPixSystem::new(model, ReadoutConfig::noiseless(8, 8.0)).expect("assembly")
+        Pipeline::builder(model)
+            .with_hardware_sensor(ReadoutConfig::noiseless(8, 8.0))
+            .expect("assembly")
+            .with_max_pending(4)
+            .build()
+            .expect("mask agreement")
     }
 
     #[test]
     fn report_counts_and_energy_are_consistent() {
-        let mut sys = system();
+        let mut p = pipeline();
         let data = Dataset::new(ssv2_like(8, 16, 16), 6);
-        let report =
-            evaluate_deployment(&mut sys, &data, Wireless::PassiveWifi).expect("evaluation");
+        let report = evaluate_deployment(&mut p, &data, Wireless::PassiveWifi).expect("evaluation");
         assert_eq!(report.clips, 6);
         assert!(report.correct <= 6);
         assert!(report.accuracy() >= 0.0 && report.accuracy() <= 100.0);
@@ -117,13 +146,45 @@ mod tests {
             report.energy_uj_per_correct() >= report.energy_uj_per_capture
                 || report.correct == report.clips
         );
+        assert_eq!(p.pending(), 0, "evaluation must drain the queue");
+    }
+
+    #[test]
+    fn microbatched_evaluation_matches_per_clip_classification() {
+        let mut p = pipeline();
+        let data = Dataset::new(ssv2_like(8, 16, 16), 5);
+        let report = evaluate_deployment(&mut p, &data, Wireless::PassiveWifi).expect("evaluation");
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let sample = data.sample(i);
+            if p.classify(sample.video.frames()).expect("classify") == sample.label {
+                correct += 1;
+            }
+        }
+        assert_eq!(report.correct, correct);
     }
 
     #[test]
     fn empty_dataset_errors() {
-        let mut sys = system();
+        let mut p = pipeline();
         let empty = Dataset::new(ssv2_like(8, 16, 16), 0);
-        assert!(evaluate_deployment(&mut sys, &empty, Wireless::PassiveWifi).is_err());
+        assert!(evaluate_deployment(&mut p, &empty, Wireless::PassiveWifi).is_err());
+    }
+
+    #[test]
+    fn stale_pending_clips_are_rejected_not_misattributed() {
+        let mut p = pipeline();
+        let data = Dataset::new(ssv2_like(8, 16, 16), 3);
+        p.submit(data.sample(0).video.frames()).expect("submit");
+        let err = evaluate_deployment(&mut p, &data, Wireless::PassiveWifi).unwrap_err();
+        assert!(
+            err.to_string().contains("pending"),
+            "expected a pending-queue error, got: {err}"
+        );
+        // The queue is untouched; flushing it unblocks evaluation.
+        assert_eq!(p.pending(), 1);
+        p.flush().expect("flush");
+        assert!(evaluate_deployment(&mut p, &data, Wireless::PassiveWifi).is_ok());
     }
 
     #[test]

@@ -1,136 +1,106 @@
-//! The end-to-end SnapPix pipeline: sensor hardware simulation plus the
-//! co-designed vision model.
+//! Deprecated compatibility shim: the pre-`Pipeline` end-to-end API.
+//!
+//! `SnapPixSystem` was the original public entry point — one clip at a
+//! time, a fresh autograd session per call. It now delegates to
+//! [`Pipeline`](crate::Pipeline) over the
+//! [`HardwareSensor`](snappix_sensor::HardwareSensor) backend and will be
+//! removed one release after the redesign; see the migration note in
+//! CHANGES.md.
 
-use snappix_ce::normalize_coded;
+use crate::{Error, Pipeline};
 use snappix_models::{ActionModel, SnapPixAr};
-use snappix_nn::Session;
-use snappix_sensor::{CaptureStats, CeSensor, Readout, ReadoutConfig};
+use snappix_sensor::{CaptureStats, CeSensor, HardwareSensor, ReadoutConfig};
 use snappix_tensor::Tensor;
-use std::fmt;
 
-/// Error type for the end-to-end system.
-#[derive(Debug)]
-pub enum SystemError {
-    /// The sensor simulation failed.
-    Sensor(snappix_sensor::SensorError),
-    /// The vision model failed.
-    Model(snappix_models::ModelError),
-    /// A tensor operation failed.
-    Tensor(snappix_tensor::TensorError),
-}
+/// Former name of the unified [`Error`]; kept so old `Result<_,
+/// SystemError>` signatures keep compiling during the migration.
+#[deprecated(since = "0.1.0", note = "use `snappix::Error`")]
+pub type SystemError = Error;
 
-impl fmt::Display for SystemError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SystemError::Sensor(e) => write!(f, "sensor error: {e}"),
-            SystemError::Model(e) => write!(f, "model error: {e}"),
-            SystemError::Tensor(e) => write!(f, "tensor error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SystemError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SystemError::Sensor(e) => Some(e),
-            SystemError::Model(e) => Some(e),
-            SystemError::Tensor(e) => Some(e),
-        }
-    }
-}
-
-impl From<snappix_sensor::SensorError> for SystemError {
-    fn from(e: snappix_sensor::SensorError) -> Self {
-        SystemError::Sensor(e)
-    }
-}
-
-impl From<snappix_models::ModelError> for SystemError {
-    fn from(e: snappix_models::ModelError) -> Self {
-        SystemError::Model(e)
-    }
-}
-
-impl From<snappix_tensor::TensorError> for SystemError {
-    fn from(e: snappix_tensor::TensorError) -> Self {
-        SystemError::Tensor(e)
-    }
-}
-
-/// The deployed SnapPix pipeline: incident light goes through the
-/// simulated CE sensor (charge-domain pixel model, shift-register pattern
-/// streaming, noisy ADC) and the resulting coded image drives the
-/// co-designed ViT.
+/// The original one-clip-at-a-time deployment pipeline, now a thin shim
+/// over [`Pipeline`]`<`[`HardwareSensor`]`>`.
 ///
-/// During *training* the algorithmic encoder ([`snappix_ce::encode`]) is
-/// used for speed; this type is the *deployment* path that exercises the
-/// hardware model end to end. The workspace integration tests assert both
-/// paths agree.
+/// Migration (see CHANGES.md):
+///
+/// ```text
+/// SnapPixSystem::new(model, readout)   ->  Pipeline::builder(model)
+///                                              .with_hardware_sensor(readout)?.build()?
+/// system.classify(clip)                ->  pipeline.classify(clip)
+/// system.logits(clip)                  ->  pipeline.infer_clip(clip)?.logits
+/// system.sense(clip)                   ->  pipeline.sense(clip)
+/// system.last_capture_stats()          ->  pipeline.backend().stats()
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Pipeline::builder(model).with_hardware_sensor(readout)` — \
+            batched, session-reusing, and generic over the `Sense` backend"
+)]
 pub struct SnapPixSystem {
-    model: SnapPixAr,
-    sensor: CeSensor,
-    readout: Readout,
+    inner: Pipeline<HardwareSensor>,
 }
 
-impl fmt::Debug for SnapPixSystem {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+#[allow(deprecated)]
+impl std::fmt::Debug for SnapPixSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapPixSystem")
-            .field("sensor", &(self.sensor.height(), self.sensor.width()))
-            .field("model", &self.model.name().to_string())
+            .field("sensor", &(self.sensor().height(), self.sensor().width()))
+            .field("model", &self.inner.model().name().to_string())
             .finish()
     }
 }
 
+#[allow(deprecated)]
 impl SnapPixSystem {
     /// Assembles a system around a (typically already trained) model; the
-    /// sensor geometry and mask are taken from the model.
-    ///
-    /// The readout's `full_scale` is overridden to the mask's slot count
-    /// so the ADC range matches the worst-case accumulated charge.
+    /// sensor geometry and mask are taken from the model, and the
+    /// readout's `full_scale` is overridden to the mask's slot count.
     ///
     /// # Errors
     ///
-    /// Returns [`SystemError::Sensor`] when the model's geometry cannot
-    /// form a sensor.
-    pub fn new(model: SnapPixAr, readout: ReadoutConfig) -> Result<Self, SystemError> {
+    /// Returns [`Error::Sensor`] when the model's geometry cannot form a
+    /// sensor.
+    pub fn new(model: SnapPixAr, readout: ReadoutConfig) -> Result<Self, Error> {
+        // The legacy contract: `sense` always returned the
+        // exposure-normalized coded image, even for models whose
+        // `normalize_by_exposure` ablation flag is off (the modern
+        // `with_hardware_sensor` follows the flag instead, and `build`
+        // rejects the mismatch — hence `build_unchecked`).
         let cfg = model.encoder().config();
-        let sensor = CeSensor::new(cfg.height, cfg.width, model.mask().clone())?;
-        let readout = Readout::new(ReadoutConfig {
-            full_scale: model.mask().num_slots() as f32,
-            ..readout
-        });
-        Ok(SnapPixSystem {
-            model,
-            sensor,
-            readout,
-        })
+        let backend = HardwareSensor::new(cfg.height, cfg.width, model.mask().clone())?
+            .with_readout(ReadoutConfig {
+                full_scale: model.mask().num_slots() as f32,
+                ..readout
+            })
+            .with_normalization(true);
+        let inner = Pipeline::builder(model)
+            .with_backend(backend)
+            .build_unchecked()?;
+        Ok(SnapPixSystem { inner })
     }
 
     /// The vision model.
     pub fn model(&self) -> &SnapPixAr {
-        &self.model
+        self.inner.model()
     }
 
     /// The simulated sensor.
     pub fn sensor(&self) -> &CeSensor {
-        &self.sensor
+        self.inner.backend().sensor()
     }
 
     /// Statistics of the most recent capture (for energy accounting).
     pub fn last_capture_stats(&self) -> CaptureStats {
-        self.sensor.stats()
+        self.inner.backend().stats()
     }
 
     /// Captures one `[t, h, w]` clip through the hardware simulation and
-    /// returns the digitized, exposure-normalized coded image the node
-    /// would transmit.
+    /// returns the digitized, exposure-normalized coded image.
     ///
     /// # Errors
     ///
     /// Fails when the clip does not match the sensor.
-    pub fn sense(&mut self, video: &Tensor) -> Result<Tensor, SystemError> {
-        let digital = self.sensor.capture_digital(video, &mut self.readout)?;
-        Ok(normalize_coded(&digital, self.model.mask()))
+    pub fn sense(&mut self, video: &Tensor) -> Result<Tensor, Error> {
+        self.inner.sense(video)
     }
 
     /// Full pipeline: sense the clip, classify the coded image, return
@@ -139,9 +109,8 @@ impl SnapPixSystem {
     /// # Errors
     ///
     /// Fails when the clip does not match the sensor or the model.
-    pub fn classify(&mut self, video: &Tensor) -> Result<usize, SystemError> {
-        let logits = self.logits(video)?;
-        Ok(logits.argmax_axis(1).map_err(SystemError::from)?[0])
+    pub fn classify(&mut self, video: &Tensor) -> Result<usize, Error> {
+        self.inner.classify(video)
     }
 
     /// Full pipeline returning raw class logits `[1, classes]`.
@@ -149,16 +118,28 @@ impl SnapPixSystem {
     /// # Errors
     ///
     /// Fails when the clip does not match the sensor or the model.
-    pub fn logits(&mut self, video: &Tensor) -> Result<Tensor, SystemError> {
-        let coded = self.sense(video)?;
-        let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
-        let mut sess = Session::inference(self.model.store());
-        let logits = self.model.build_logits_from_coded(&mut sess, &batch)?;
-        Ok(sess.graph.value(logits).clone())
+    pub fn logits(&mut self, video: &Tensor) -> Result<Tensor, Error> {
+        let classes = self.inner.num_classes();
+        let prediction = self.inner.infer_clip(video)?;
+        Ok(prediction.logits.reshape(&[1, classes])?)
+    }
+
+    /// Unwraps the shim into the modern engine, keeping the assembled
+    /// model and hardware backend.
+    pub fn into_pipeline(self) -> Pipeline<HardwareSensor> {
+        self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl From<SnapPixSystem> for Pipeline<HardwareSensor> {
+    fn from(system: SnapPixSystem) -> Self {
+        system.into_pipeline()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use snappix_ce::patterns;
@@ -172,7 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn sense_produces_normalized_coded_image() {
+    fn shim_preserves_the_legacy_surface() {
         let mut sys = system();
         let video = Tensor::full(&[8, 16, 16], 0.5);
         let coded = sys.sense(&video).unwrap();
@@ -180,31 +161,41 @@ mod tests {
         // Long exposure of constant 0.5, normalized by 8 slots -> ~0.5
         // (up to ADC quantization).
         assert!(coded.approx_eq(&Tensor::full(&[16, 16], 0.5), 0.02));
-    }
 
-    #[test]
-    fn classify_returns_valid_class() {
-        let mut sys = system();
         let data = Dataset::new(ssv2_like(8, 16, 16), 1);
         let label = sys.classify(data.sample(0).video.frames()).unwrap();
         assert!(label < 5);
         let logits = sys.logits(data.sample(0).video.frames()).unwrap();
         assert_eq!(logits.shape(), &[1, 5]);
         assert!(sys.last_capture_stats().pixels_read > 0);
-    }
 
-    #[test]
-    fn wrong_clip_geometry_errors() {
-        let mut sys = system();
         assert!(sys.classify(&Tensor::zeros(&[4, 16, 16])).is_err());
         assert!(sys.sense(&Tensor::zeros(&[8, 8, 8])).is_err());
-    }
-
-    #[test]
-    fn debug_and_accessors() {
-        let sys = system();
         assert!(format!("{sys:?}").contains("SnapPixSystem"));
         assert_eq!(sys.sensor().height(), 16);
         assert_eq!(sys.model().mask().num_slots(), 8);
+    }
+
+    #[test]
+    fn shim_normalizes_sense_even_for_unnormalized_models() {
+        // Regression: the legacy `sense` normalized unconditionally; the
+        // shim must keep doing so when `normalize_by_exposure` is off.
+        let mask = patterns::long_exposure(8, (8, 8)).unwrap();
+        let mut model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask).unwrap();
+        model.normalize_by_exposure = false;
+        let mut sys = SnapPixSystem::new(model, ReadoutConfig::noiseless(12, 8.0)).unwrap();
+        let coded = sys.sense(&Tensor::full(&[8, 16, 16], 0.5)).unwrap();
+        // Normalized long exposure of constant 0.5 -> ~0.5 (not ~4.0).
+        assert!(coded.approx_eq(&Tensor::full(&[16, 16], 0.5), 0.02));
+    }
+
+    #[test]
+    fn shim_delegates_to_the_pipeline_bit_for_bit() {
+        let mut sys = system();
+        let video = Tensor::full(&[8, 16, 16], 0.3);
+        let legacy = sys.logits(&video).unwrap();
+        let mut pipeline: crate::Pipeline<_> = sys.into();
+        let modern = pipeline.infer_clip(&video).unwrap();
+        assert!(legacy.reshape(&[5]).unwrap().approx_eq(&modern.logits, 0.0));
     }
 }

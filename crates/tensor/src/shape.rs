@@ -150,17 +150,21 @@ pub(crate) fn unravel(mut flat: usize, dims: &[usize]) -> Vec<usize> {
     coords
 }
 
-/// Maps output-space coordinates back into a flat index of a (possibly
-/// broadcast) operand with shape `dims`.
-pub(crate) fn broadcast_index(coords: &[usize], dims: &[usize]) -> usize {
-    let offset = coords.len() - dims.len();
+/// Row-major strides of an operand with shape `dims`, right-aligned into
+/// a broadcast output of rank `out_rank`, with broadcast axes (missing
+/// or size 1) given stride 0.
+///
+/// Together with an odometer walk over the output shape this lets
+/// broadcast loops run without any per-element allocation or div/mod
+/// (see [`Tensor::zip_with`](crate::Tensor::zip_with)).
+pub(crate) fn broadcast_strides(dims: &[usize], out_rank: usize) -> Vec<usize> {
     let strides = strides_for(dims);
-    let mut idx = 0usize;
+    let mut eff = vec![0usize; out_rank];
+    let offset = out_rank - dims.len();
     for (i, &d) in dims.iter().enumerate() {
-        let c = if d == 1 { 0 } else { coords[offset + i] };
-        idx += c * strides[i];
+        eff[offset + i] = if d == 1 { 0 } else { strides[i] };
     }
-    idx
+    eff
 }
 
 #[cfg(test)]
@@ -216,10 +220,13 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_index_collapses_unit_axes() {
-        // operand shape [1, 3] broadcast into [2, 3]
-        assert_eq!(broadcast_index(&[1, 2], &[1, 3]), 2);
-        assert_eq!(broadcast_index(&[0, 1], &[1, 3]), 1);
+    fn broadcast_strides_zero_unit_and_missing_axes() {
+        // operand shape [1, 3] broadcast into rank-2 output: the unit
+        // axis contributes stride 0, the real axis its row-major stride.
+        assert_eq!(broadcast_strides(&[1, 3], 2), vec![0, 1]);
+        // operand shape [3] right-aligned into rank-3 output.
+        assert_eq!(broadcast_strides(&[3], 3), vec![0, 0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1, 3], 3), vec![3, 0, 1]);
     }
 
     #[test]

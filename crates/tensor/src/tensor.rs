@@ -1,4 +1,4 @@
-use crate::shape::{broadcast_index, strides_for, unravel};
+use crate::shape::{broadcast_strides, strides_for};
 use crate::{broadcast_shapes, Result, TensorError};
 
 /// A dense, row-major, contiguous `f32` tensor.
@@ -316,15 +316,24 @@ impl Tensor {
         }
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let in_strides = self.strides();
+        // Source strides reordered into output-axis order; the odometer
+        // walk below then visits the source without per-element
+        // coordinate math (attention permutes twice per head split).
+        let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
         let mut out = Tensor::zeros(&out_shape);
-        let out_dims = out_shape.clone();
-        for flat in 0..out.data.len() {
-            let coords = unravel(flat, &out_dims);
-            let mut src = 0usize;
-            for (i, &p) in perm.iter().enumerate() {
-                src += coords[i] * in_strides[p];
+        let mut coords = vec![0usize; rank];
+        let mut src = 0usize;
+        for o in out.data.iter_mut() {
+            *o = self.data[src];
+            for axis in (0..rank).rev() {
+                coords[axis] += 1;
+                src += src_strides[axis];
+                if coords[axis] < out_shape[axis] {
+                    break;
+                }
+                coords[axis] = 0;
+                src -= src_strides[axis] * out_shape[axis];
             }
-            out.data[flat] = self.data[src];
         }
         Ok(out)
     }
@@ -361,10 +370,22 @@ impl Tensor {
                 rhs: shape.to_vec(),
             });
         }
+        let rank = shape.len();
+        let strides = broadcast_strides(&self.shape, rank);
         let mut out = Tensor::zeros(shape);
-        for flat in 0..out.data.len() {
-            let coords = unravel(flat, shape);
-            out.data[flat] = self.data[broadcast_index(&coords, &self.shape)];
+        let mut coords = vec![0usize; rank];
+        let mut src = 0usize;
+        for o in out.data.iter_mut() {
+            *o = self.data[src];
+            for axis in (0..rank).rev() {
+                coords[axis] += 1;
+                src += strides[axis];
+                if coords[axis] < shape[axis] {
+                    break;
+                }
+                coords[axis] = 0;
+                src -= strides[axis] * shape[axis];
+            }
         }
         Ok(out)
     }
@@ -453,12 +474,30 @@ impl Tensor {
             });
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)?;
+        let rank = out_shape.len();
+        // Odometer walk: per-operand strides are precomputed (0 on
+        // broadcast axes), so each element costs a couple of adds
+        // instead of the coordinate unravel + stride rebuild the naive
+        // formulation pays — the pre-ViT stack is dominated by exactly
+        // these broadcast ops (bias adds, layer-norm scaling).
+        let a_strides = broadcast_strides(&self.shape, rank);
+        let b_strides = broadcast_strides(&other.shape, rank);
         let mut out = Tensor::zeros(&out_shape);
-        for flat in 0..out.data.len() {
-            let coords = unravel(flat, &out_shape);
-            let a = self.data[broadcast_index(&coords, &self.shape)];
-            let b = other.data[broadcast_index(&coords, &other.shape)];
-            out.data[flat] = f(a, b);
+        let mut coords = vec![0usize; rank];
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for o in out.data.iter_mut() {
+            *o = f(self.data[ai], other.data[bi]);
+            for axis in (0..rank).rev() {
+                coords[axis] += 1;
+                ai += a_strides[axis];
+                bi += b_strides[axis];
+                if coords[axis] < out_shape[axis] {
+                    break;
+                }
+                coords[axis] = 0;
+                ai -= a_strides[axis] * out_shape[axis];
+                bi -= b_strides[axis] * out_shape[axis];
+            }
         }
         Ok(out)
     }

@@ -56,10 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 / CLASSES as f32
     );
 
-    // 3. Deploy: clips pass through the charge-domain sensor simulation,
-    //    and the report combines accuracy with the energy model.
-    let mut system = SnapPixSystem::new(model, ReadoutConfig::default())?;
-    let report = evaluate_deployment(&mut system, &test, Wireless::PassiveWifi)?;
+    // 3. Deploy: a batched inference engine over the charge-domain sensor
+    //    simulation; the report combines accuracy with the energy model.
+    let mut pipeline = Pipeline::builder(model)
+        .with_hardware_sensor(ReadoutConfig::default())?
+        .with_max_pending(8)
+        .build()?;
+    let report = evaluate_deployment(&mut pipeline, &test, Wireless::PassiveWifi)?;
     println!(
         "hardware-path accuracy: {:.1}% over {} clips",
         report.accuracy(),

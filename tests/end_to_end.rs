@@ -1,5 +1,5 @@
 //! Workspace integration test: the full SnapPix pipeline from mask
-//! learning through deployment on the simulated sensor hardware.
+//! learning through batched deployment on the simulated sensor hardware.
 
 use snappix::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -8,13 +8,15 @@ const T: usize = 8;
 const HW: usize = 24;
 const CLASSES: usize = 8;
 
-static SHARED: OnceLock<(Mutex<SnapPixSystem>, Dataset)> = OnceLock::new();
+type DeployedPipeline = Pipeline<HardwareSensor>;
+
+static SHARED: OnceLock<(Mutex<DeployedPipeline>, Dataset)> = OnceLock::new();
 
 /// Trains the full pipeline once and shares it across the tests in this
 /// file (training is the expensive part; the tests probe different
-/// properties of the same deployed system).
-fn trained_system() -> (MutexGuard<'static, SnapPixSystem>, &'static Dataset) {
-    let (system, test) = SHARED.get_or_init(|| {
+/// properties of the same deployed engine).
+fn trained_pipeline() -> (MutexGuard<'static, DeployedPipeline>, &'static Dataset) {
+    let (pipeline, test) = SHARED.get_or_init(|| {
         let data = Dataset::new(ucf101_like(T, HW, HW), 120);
         let (train, test) = data.split(0.8);
 
@@ -40,24 +42,36 @@ fn trained_system() -> (MutexGuard<'static, SnapPixSystem>, &'static Dataset) {
 
         // Stage 3: deployment with a noiseless readout (so hardware and
         // algorithmic paths can be compared exactly).
-        let system = SnapPixSystem::new(model, ReadoutConfig::noiseless(12, T as f32))
-            .expect("system assembly");
-        (Mutex::new(system), test)
+        let pipeline = Pipeline::builder(model)
+            .with_hardware_sensor(ReadoutConfig::noiseless(12, T as f32))
+            .expect("sensor assembly")
+            .build()
+            .expect("mask agreement");
+        (Mutex::new(pipeline), test)
     });
-    (system.lock().expect("no poisoned lock"), test)
+    (pipeline.lock().expect("no poisoned lock"), test)
 }
 
 #[test]
-fn full_pipeline_classifies_above_chance() {
-    let (mut system, test) = trained_system();
-    let system = &mut *system;
+fn full_pipeline_classifies_above_chance_in_batches() {
+    let (mut pipeline, test) = trained_pipeline();
+    let pipeline = &mut *pipeline;
+    // The whole test set goes through in batched forward passes.
     let mut correct = 0usize;
-    for i in 0..test.len() {
-        let sample = test.sample(i);
-        let predicted = system.classify(sample.video.frames()).expect("classify");
-        if predicted == sample.label {
-            correct += 1;
-        }
+    let batch_size = 8;
+    let mut i = 0;
+    while i < test.len() {
+        let n = batch_size.min(test.len() - i);
+        let batch = test.batch(i, n);
+        let out = pipeline.infer(&batch.videos).expect("batched inference");
+        assert_eq!(out.len(), n);
+        correct += out
+            .labels
+            .iter()
+            .zip(&batch.labels)
+            .filter(|(a, b)| a == b)
+            .count();
+        i += n;
     }
     let acc = 100.0 * correct as f32 / test.len() as f32;
     let chance = 100.0 / CLASSES as f32;
@@ -69,44 +83,69 @@ fn full_pipeline_classifies_above_chance() {
 
 #[test]
 fn hardware_and_algorithmic_paths_agree() {
-    let (mut system, test) = trained_system();
-    let system = &mut *system;
+    let (mut pipeline, test) = trained_pipeline();
+    let pipeline = &mut *pipeline;
     let sample = test.sample(0);
     let video = sample.video.frames();
 
     // Hardware path: charge-domain sensor sim + 12-bit noiseless ADC.
-    let hw_logits = system.logits(video).expect("hardware path");
+    let hw = pipeline.infer_clip(video).expect("hardware path");
 
-    // Algorithmic path: Eqn. 1 encoder.
-    let batch = video.reshape(&[1, T, HW, HW]).expect("singleton batch");
-    let coded = system.model().compress(&batch).expect("compress");
-    let mut sess = snappix_nn::Session::inference(system.model().store());
-    let sw_var = system
+    // Algorithmic path: Eqn. 1 encoder through the same Sense trait.
+    let mut encoder = AlgorithmicEncoder::new(pipeline.model().mask().clone());
+    let coded = encoder.sense(video).expect("encode");
+    let batch = coded.reshape(&[1, HW, HW]).expect("singleton batch");
+    let mut sess = snappix_nn::Session::inference(pipeline.model().store());
+    let sw_var = pipeline
         .model()
-        .build_logits_from_coded(&mut sess, &coded)
+        .build_logits_from_coded(&mut sess, &batch)
         .expect("model forward");
-    let sw_logits = sess.graph.value(sw_var).clone();
+    let sw_logits = sess
+        .graph
+        .value(sw_var)
+        .clone()
+        .reshape(&[CLASSES])
+        .expect("row");
 
     // The only difference is ADC quantization; logits must be close and
     // the argmax identical.
     assert_eq!(
-        snappix_tensor::argmax_coords(&hw_logits),
+        snappix_tensor::argmax_coords(&hw.logits),
         snappix_tensor::argmax_coords(&sw_logits),
         "hardware and algorithmic paths must agree on the class"
     );
     assert!(
-        hw_logits.approx_eq(&sw_logits, 0.35),
-        "logit gap exceeds quantization tolerance:\nhw {hw_logits}\nsw {sw_logits}"
+        hw.logits.approx_eq(&sw_logits, 0.35),
+        "logit gap exceeds quantization tolerance:\nhw {}\nsw {sw_logits}",
+        hw.logits
     );
 }
 
 #[test]
+fn batched_inference_matches_per_clip_calls_bit_for_bit() {
+    let (mut pipeline, test) = trained_pipeline();
+    let pipeline = &mut *pipeline;
+    let batch = test.batch(0, 4);
+    let batched = pipeline.infer(&batch.videos).expect("batched inference");
+    for b in 0..4 {
+        let clip = batch.videos.index_axis(0, b).expect("clip");
+        let single = pipeline.infer_clip(&clip).expect("single inference");
+        let row = batched.prediction(b).expect("row");
+        assert_eq!(single.label, row.label, "clip {b}");
+        assert!(
+            single.logits.approx_eq(&row.logits, 0.0),
+            "clip {b}: batched and single logits must be identical"
+        );
+    }
+}
+
+#[test]
 fn capture_stats_match_protocol_accounting() {
-    let (mut system, test) = trained_system();
-    let system = &mut *system;
+    let (mut pipeline, test) = trained_pipeline();
+    let pipeline = &mut *pipeline;
     let sample = test.sample(0);
-    system.classify(sample.video.frames()).expect("classify");
-    let stats = system.last_capture_stats();
+    pipeline.classify(sample.video.frames()).expect("classify");
+    let stats = pipeline.backend().stats();
     // Two pattern streams per slot, 64 pattern-clock cycles per stream
     // (8x8 tile).
     assert_eq!(stats.pattern_clock_cycles, (2 * T * 64) as u64);
@@ -115,10 +154,10 @@ fn capture_stats_match_protocol_accounting() {
 }
 
 #[test]
-fn edge_node_energy_is_consistent_with_system_compression() {
-    let (system, _) = trained_system();
-    let system = &*system;
-    let t = system.model().mask().num_slots();
+fn edge_node_energy_is_consistent_with_pipeline_compression() {
+    let (pipeline, _) = trained_pipeline();
+    let pipeline = &*pipeline;
+    let t = pipeline.model().mask().num_slots();
     let node = EdgeNode::new(HW * HW, t, Wireless::PassiveWifi);
     // The readout+wireless reduction must equal the compression ratio.
     let conv = node.conventional_energy();

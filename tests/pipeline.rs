@@ -1,0 +1,176 @@
+//! Integration tests of the redesigned umbrella API: the `Sense`
+//! backend abstraction and the batched `Pipeline` inference engine.
+//!
+//! Property tests (vendored proptest): the algorithmic encoder and the
+//! noiseless hardware sensor agree *through the trait*, and batched
+//! inference is bit-for-bit identical to per-clip inference.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use snappix::prelude::*;
+
+const HW: usize = 16;
+const TILE: (usize, usize) = (8, 8);
+const CLASSES: usize = 5;
+
+/// Generic over the backend — this is the point of the `Sense` trait:
+/// the same driver code serves the training and deployment paths.
+fn coded_via<S: Sense>(backend: &mut S, clip: &Tensor) -> Tensor
+where
+    S::Error: std::fmt::Debug,
+{
+    backend.sense(clip).expect("sense")
+}
+
+fn model_for(mask: &ExposureMask) -> SnapPixAr {
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask.clone()).expect("geometry")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any random mask and clip, the training-time encoder and the
+    /// ideal-readout hardware simulation produce the same coded image
+    /// when driven through the shared `Sense` trait.
+    #[test]
+    fn algorithmic_and_ideal_hardware_backends_agree(
+        seed in 0u64..10_000,
+        t in 2usize..8,
+        open in 0.2f32..0.8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = patterns::random(t, TILE, open, &mut rng).expect("valid dims");
+        let clip = Tensor::rand_uniform(&mut rng, &[t, HW, HW], 0.0, 1.0);
+        let mut sw = AlgorithmicEncoder::new(mask.clone());
+        let mut hw = HardwareSensor::new(HW, HW, mask).expect("geometry");
+        let a = coded_via(&mut sw, &clip);
+        let b = coded_via(&mut hw, &clip);
+        prop_assert!(a.approx_eq(&b, 1e-5), "seed {seed}: backends disagree");
+    }
+
+    /// Unnormalized variants agree too (the ablation path).
+    #[test]
+    fn unnormalized_backends_agree(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = patterns::random(4, TILE, 0.5, &mut rng).expect("valid dims");
+        let clip = Tensor::rand_uniform(&mut rng, &[4, HW, HW], 0.0, 1.0);
+        let mut sw = AlgorithmicEncoder::new(mask.clone()).with_normalization(false);
+        let mut hw = HardwareSensor::new(HW, HW, mask)
+            .expect("geometry")
+            .with_normalization(false);
+        prop_assert!(coded_via(&mut sw, &clip).approx_eq(&coded_via(&mut hw, &clip), 1e-5));
+    }
+
+    /// `Pipeline::infer` on a batch is bit-for-bit identical to the same
+    /// clips inferred one at a time — batching is a pure throughput
+    /// optimization, never a numerics change.
+    #[test]
+    fn batched_infer_is_bitwise_equal_to_per_clip(seed in 0u64..10_000, batch in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = patterns::random(4, TILE, 0.5, &mut rng).expect("valid dims");
+        let mut pipeline = Pipeline::builder(model_for(&mask)).build().expect("assembly");
+        let clips = Tensor::rand_uniform(&mut rng, &[batch, 4, HW, HW], 0.0, 1.0);
+        let batched = pipeline.infer(&clips).expect("batched inference");
+        prop_assert_eq!(batched.logits.shape(), &[batch, CLASSES]);
+        for b in 0..batch {
+            let clip = clips.index_axis(0, b).expect("clip");
+            let single = pipeline.infer_clip(&clip).expect("single inference");
+            let row = batched.prediction(b).expect("row");
+            prop_assert_eq!(single.label, row.label);
+            prop_assert!(
+                single.logits.approx_eq(&row.logits, 0.0),
+                "clip {}: batched logits must equal single-clip logits exactly", b
+            );
+        }
+    }
+
+    /// The submit/flush micro-batching queue preserves order and values.
+    #[test]
+    fn microbatch_queue_matches_direct_batch(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = patterns::random(4, TILE, 0.5, &mut rng).expect("valid dims");
+        let mut pipeline = Pipeline::builder(model_for(&mask))
+            .with_max_pending(3)
+            .build()
+            .expect("assembly");
+        let clips = Tensor::rand_uniform(&mut rng, &[5, 4, HW, HW], 0.0, 1.0);
+        let direct = pipeline.infer(&clips).expect("batched inference");
+
+        let mut queued = Vec::new();
+        for b in 0..5 {
+            let clip = clips.index_axis(0, b).expect("clip");
+            if let Some(done) = pipeline.submit(&clip).expect("submit") {
+                queued.extend(done.labels);
+            }
+        }
+        queued.extend(pipeline.flush().expect("flush").labels);
+        prop_assert_eq!(queued, direct.labels);
+        prop_assert_eq!(pipeline.pending(), 0);
+    }
+}
+
+/// Regression test for the old `SnapPixSystem::logits`, which rebuilt
+/// the autograd graph and session on every call: the engine's session
+/// reuse must not change results — repeated `infer` calls on the same
+/// pipeline give identical logits, on both backends.
+#[test]
+fn repeated_infer_calls_give_identical_logits() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mask = patterns::random(4, TILE, 0.5, &mut rng).expect("valid dims");
+    let clips = Tensor::rand_uniform(&mut rng, &[3, 4, HW, HW], 0.0, 1.0);
+
+    let mut algorithmic = Pipeline::builder(model_for(&mask))
+        .build()
+        .expect("assembly");
+    let mut hardware = Pipeline::builder(model_for(&mask))
+        .with_hardware_sensor(ReadoutConfig::noiseless(12, 4.0))
+        .expect("sensor assembly")
+        .build()
+        .expect("assembly");
+
+    let first_sw = algorithmic.infer(&clips).expect("inference");
+    let first_hw = hardware.infer(&clips).expect("inference");
+    for round in 0..4 {
+        let sw = algorithmic.infer(&clips).expect("inference");
+        let hw = hardware.infer(&clips).expect("inference");
+        assert!(
+            sw.logits.approx_eq(&first_sw.logits, 0.0),
+            "round {round}: algorithmic logits drifted across session reuse"
+        );
+        assert!(
+            hw.logits.approx_eq(&first_hw.logits, 0.0),
+            "round {round}: hardware logits drifted across session reuse"
+        );
+        assert_eq!(sw.labels, first_sw.labels);
+        assert_eq!(hw.labels, first_hw.labels);
+    }
+}
+
+/// The unified error type converts from every layer and surfaces
+/// backend failures with context.
+#[test]
+fn unified_error_spans_the_stack() {
+    let mask = patterns::long_exposure(4, TILE).expect("valid dims");
+    let mut pipeline = Pipeline::builder(model_for(&mask))
+        .build()
+        .expect("assembly");
+
+    // Wrong rank -> tensor-level error through the Ce backend.
+    let err = pipeline.infer(&Tensor::zeros(&[4, HW, HW])).unwrap_err();
+    assert!(matches!(err, Error::Ce(_)), "got {err}");
+    // Wrong slot count -> mask validation error.
+    let err = pipeline
+        .infer_clip(&Tensor::zeros(&[3, HW, HW]))
+        .unwrap_err();
+    assert!(!err.to_string().is_empty());
+    assert!(std::error::Error::source(&err).is_some());
+
+    // Hardware backend failures arrive as Error::Sensor.
+    let mut hw = Pipeline::builder(model_for(&mask))
+        .with_hardware_sensor(ReadoutConfig::default())
+        .expect("sensor assembly")
+        .build()
+        .expect("assembly");
+    let err = hw.infer_clip(&Tensor::zeros(&[4, 8, 8])).unwrap_err();
+    assert!(matches!(err, Error::Sensor(_)), "got {err}");
+}

@@ -1,7 +1,8 @@
 //! Workspace smoke test: the umbrella crate's prelude re-exports resolve
-//! and the quickstart pipeline (mask learning -> ViT training -> deployment
-//! through the simulated sensor) runs end-to-end at the smallest sensible
-//! scale — one 8x8 tile per frame — in seconds, not minutes.
+//! and the quickstart pipeline (mask learning -> ViT training -> batched
+//! deployment through the simulated sensor) runs end-to-end at the
+//! smallest sensible scale — one 8x8 tile per frame — in seconds, not
+//! minutes.
 
 use snappix::prelude::*;
 
@@ -13,7 +14,13 @@ const HW: usize = 8;
 /// checks the re-export surface).
 #[allow(dead_code)]
 type PreludeSurface = (
-    SnapPixSystem,
+    Pipeline,
+    Pipeline<HardwareSensor>,
+    PipelineBuilder,
+    Inference,
+    Prediction,
+    Error,
+    AlgorithmicEncoder,
     DeploymentReport,
     EdgeNode,
     ExposureMask,
@@ -26,6 +33,11 @@ type PreludeSurface = (
     Dataset,
     Video,
 );
+
+/// The deprecated shim must stay importable (and distinct from the new
+/// engine) for one release.
+#[allow(dead_code, deprecated)]
+type DeprecatedSurface = SnapPixSystem;
 
 #[test]
 fn quickstart_path_runs_on_a_tiny_clip() {
@@ -51,10 +63,17 @@ fn quickstart_path_runs_on_a_tiny_clip() {
     .expect("tile matches patch");
     train_action_model(&mut model, &train, &TrainOptions::experiment(2)).expect("training");
 
-    let mut system = SnapPixSystem::new(model, ReadoutConfig::default()).expect("system assembly");
-    let sample = test.sample(0);
-    let predicted = system.classify(sample.video.frames()).expect("classify");
-    assert!(predicted < data.num_classes(), "class index in range");
+    let mut pipeline = Pipeline::builder(model)
+        .with_hardware_sensor(ReadoutConfig::default())
+        .expect("sensor assembly")
+        .build()
+        .expect("mask agreement");
+    let batch = test.batch(0, test.len().min(4));
+    let out = pipeline.infer(&batch.videos).expect("batched inference");
+    assert_eq!(out.len(), batch.labels.len());
+    for &label in &out.labels {
+        assert!(label < data.num_classes(), "class index in range");
+    }
 
     // "A few seconds" in practice (~2 s debug on one core); the bound is
     // 60x that so contended CI runners don't flake, while still catching an
