@@ -9,10 +9,11 @@
 //! binding, per-op bookkeeping and tensor allocation — amortize over the
 //! batch, so the batched path wins most where clips are small relative
 //! to that overhead (the paper's edge regime, `16x16`); at `32x32` the
-//! per-clip compute grows and the gap narrows. `legacy_system_loop8`
-//! runs the deprecated `SnapPixSystem` shim, whose API forces every clip
-//! through the charge-domain hardware simulation, for the historical
-//! trajectory.
+//! per-clip compute grows and the gap narrows.
+//! `pipeline_batch/infer_batch8_*_serial` pins the same engine to one
+//! worker (`PipelineBuilder::with_threads(1)`), so the spread against
+//! the default row quantifies what the shared data-parallel layer buys
+//! on the current machine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
@@ -46,6 +47,13 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_function(format!("infer_batch{BATCH}_{hw}x{hw}"), |b| {
             b.iter(|| pipeline.infer(&clips).expect("batched inference"))
         });
+        let mut serial = Pipeline::builder(model(hw))
+            .with_threads(1)
+            .build()
+            .expect("assembly");
+        group.bench_function(format!("infer_batch{BATCH}_{hw}x{hw}_serial"), |b| {
+            b.iter(|| serial.infer(&clips).expect("batched inference"))
+        });
         group.finish();
 
         let mut group = c.benchmark_group("pipeline_single");
@@ -59,20 +67,6 @@ fn bench_pipeline(c: &mut Criterion) {
                     .collect::<Vec<usize>>()
             })
         });
-
-        #[allow(deprecated)]
-        {
-            let mut system = SnapPixSystem::new(model(hw), ReadoutConfig::noiseless(8, T as f32))
-                .expect("assembly");
-            group.bench_function(format!("legacy_system_loop{BATCH}_{hw}x{hw}"), |b| {
-                b.iter(|| {
-                    singles
-                        .iter()
-                        .map(|clip| system.classify(clip).expect("classify"))
-                        .collect::<Vec<usize>>()
-                })
-            });
-        }
         group.finish();
     }
 }

@@ -57,6 +57,12 @@ pub fn zero_mean_contrast(samples: &Tensor) -> Result<Tensor> {
 /// sample matrix. Zero-variance columns yield zero correlation (treated as
 /// carrying no signal rather than poisoning the matrix with NaNs).
 ///
+/// The `X^T X` Gram product runs through the tensor crate's
+/// cache-blocked parallel matmul, and the `O(p^2)` std-normalization of
+/// the row pairs is split row-wise across the same worker pool — results
+/// are bit-for-bit identical at every thread count (see the parity
+/// test).
+///
 /// # Errors
 ///
 /// Fails for non-rank-2 input or fewer than two samples.
@@ -85,16 +91,24 @@ pub fn pearson_matrix(samples: &Tensor) -> Result<Tensor> {
     let mut c = cov;
     {
         let data = c.as_mut_slice();
-        for i in 0..p {
-            for j in 0..p {
+        let std = &std;
+        let normalize_row = |i: usize, row: &mut [f32]| {
+            for (j, v) in row.iter_mut().enumerate() {
                 let denom = std[i] * std[j];
-                data[i * p + j] = if denom > 1e-12 {
-                    (data[i * p + j] / denom).clamp(-1.0, 1.0)
+                *v = if denom > 1e-12 {
+                    (*v / denom).clamp(-1.0, 1.0)
                 } else {
                     0.0
                 };
             }
-        }
+        };
+        // The normalization is O(p^2) against the Gram product's
+        // O(s * p^2): scale the worker count to the (small) work so only
+        // a large matrix fans out, and never into tiny slices.
+        let workers = snappix_tensor::parallel::workers_for(p * p, 1 << 14);
+        snappix_tensor::parallel::with_threads(workers, || {
+            snappix_tensor::parallel::par_chunks_mut(data, p, normalize_row)
+        });
     }
     Ok(c)
 }
@@ -206,6 +220,29 @@ mod tests {
         let c = pearson_matrix(&samples).unwrap();
         assert_eq!(c.get(&[0, 1]).unwrap(), 0.0);
         assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// The parallel Pearson path (blocked matmul Gram product + row-split
+    /// normalization) must match the single-thread run bit-for-bit across
+    /// thread counts, including > p workers, on odd shapes.
+    #[test]
+    fn pearson_parallel_matches_serial_bit_for_bit() {
+        use snappix_tensor::parallel::with_threads;
+        let mut rng = StdRng::seed_from_u64(21);
+        // (300, 64) drives the Gram matmul over the slab split; (16, 256)
+        // drives the row-split normalization; (37, 5) stays fully serial.
+        for (s, p) in [(37usize, 5usize), (300, 64), (16, 256)] {
+            let samples = Tensor::rand_normal(&mut rng, &[s, p], 0.0, 1.0);
+            let reference = with_threads(1, || pearson_matrix(&samples).unwrap());
+            for threads in [2usize, 3, p + 9] {
+                let c = with_threads(threads, || pearson_matrix(&samples).unwrap());
+                assert_eq!(
+                    c.as_slice(),
+                    reference.as_slice(),
+                    "{s}x{p} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -138,7 +138,14 @@ pub fn train_action_model(
 }
 
 /// Clip-1 crop-1 accuracy (%) of `model` over the whole `dataset`,
-/// evaluated with one inference session per chunk across worker threads.
+/// evaluated with one inference session per shard across the shared
+/// worker pool ([`snappix_tensor::parallel`]).
+///
+/// The worker count follows `SNAPPIX_THREADS` / the scoped
+/// [`with_threads`](snappix_tensor::parallel::with_threads) override —
+/// an 8-core box uses 8 shards (the historical implementation capped
+/// itself at 4), and `SNAPPIX_THREADS=1` makes the sweep
+/// deterministic-serial.
 ///
 /// # Errors
 ///
@@ -149,54 +156,37 @@ pub fn evaluate_accuracy(model: &dyn ActionModel, dataset: &Dataset) -> Result<f
             context: "evaluation needs a non-empty dataset".to_string(),
         });
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4)
-        .min(dataset.len());
-    let chunk = dataset.len().div_ceil(threads);
-    let correct: usize = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(dataset.len());
-            if lo >= hi {
-                continue;
+    let shards = snappix_tensor::parallel::par_ranges(dataset.len(), |range| -> Result<usize> {
+        let mut correct = 0usize;
+        const EVAL_BATCH: usize = 8;
+        let mut i = range.start;
+        while i < range.end {
+            let size = EVAL_BATCH.min(range.end - i);
+            let mut videos = Vec::with_capacity(size);
+            let mut labels = Vec::with_capacity(size);
+            for k in 0..size {
+                let s = dataset.sample(i + k);
+                videos.push(s.video.into_frames());
+                labels.push(s.label);
             }
-            handles.push(scope.spawn(move || -> Result<usize> {
-                let mut correct = 0usize;
-                const EVAL_BATCH: usize = 8;
-                let mut i = lo;
-                while i < hi {
-                    let size = EVAL_BATCH.min(hi - i);
-                    let mut videos = Vec::with_capacity(size);
-                    let mut labels = Vec::with_capacity(size);
-                    for k in 0..size {
-                        let s = dataset.sample(i + k);
-                        videos.push(s.video.into_frames());
-                        labels.push(s.label);
-                    }
-                    let refs: Vec<&Tensor> = videos.iter().collect();
-                    let batch = Tensor::stack(&refs, 0).map_err(ModelError::from)?;
-                    let mut sess = Session::inference(model.store());
-                    let logits = model.build_logits(&mut sess, &batch)?;
-                    let pred = sess
-                        .graph
-                        .value(logits)
-                        .argmax_axis(1)
-                        .map_err(ModelError::from)?;
-                    correct += pred.iter().zip(&labels).filter(|(p, l)| *p == *l).count();
-                    i += size;
-                }
-                Ok(correct)
-            }));
+            let refs: Vec<&Tensor> = videos.iter().collect();
+            let batch = Tensor::stack(&refs, 0).map_err(ModelError::from)?;
+            let mut sess = Session::inference(model.store());
+            let logits = model.build_logits(&mut sess, &batch)?;
+            let pred = sess
+                .graph
+                .value(logits)
+                .argmax_axis(1)
+                .map_err(ModelError::from)?;
+            correct += pred.iter().zip(&labels).filter(|(p, l)| *p == *l).count();
+            i += size;
         }
-        let mut total = 0usize;
-        for h in handles {
-            total += h.join().expect("evaluation thread panicked")?;
-        }
-        Ok::<usize, ModelError>(total)
-    })?;
+        Ok(correct)
+    });
+    let mut correct = 0usize;
+    for shard in shards {
+        correct += shard?;
+    }
     Ok(100.0 * correct as f32 / dataset.len() as f32)
 }
 
@@ -287,6 +277,22 @@ mod tests {
         let acc = evaluate_accuracy(&model, &test).unwrap();
         // Chance is 12.5% on 8 classes.
         assert!(acc > 25.0, "trained accuracy {acc}% should beat chance");
+    }
+
+    /// Regression test for the hardcoded `.min(4)` thread cap: the sweep
+    /// must produce the same accuracy at any worker count (1, 2, more
+    /// than the dataset), since shard boundaries only regroup batches and
+    /// inference is batch-grouping-invariant.
+    #[test]
+    fn evaluation_accuracy_is_thread_count_invariant() {
+        use snappix_tensor::parallel::with_threads;
+        let model = small_model(8);
+        let data = Dataset::new(ssv2_like(8, 16, 16), 13);
+        let reference = with_threads(1, || evaluate_accuracy(&model, &data).unwrap());
+        for threads in [2usize, 5, 50] {
+            let acc = with_threads(threads, || evaluate_accuracy(&model, &data).unwrap());
+            assert_eq!(acc, reference, "{threads} threads");
+        }
     }
 
     #[test]

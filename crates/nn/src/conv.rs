@@ -8,7 +8,19 @@
 use crate::{kaiming_uniform, NnError, ParamId, ParamStore, Result, Session};
 use rand::Rng;
 use snappix_autograd::Var;
-use snappix_tensor::Tensor;
+use snappix_tensor::{parallel, Tensor};
+
+/// Multiply-adds each scoped worker must receive before it is worth
+/// spawning, fed to [`parallel::workers_for`]. Convolution madds carry
+/// index math and bounds checks, so the per-madd cost is several times a
+/// matmul's and the floor sits lower — a slab of this size still runs on
+/// the order of 100 µs.
+const PAR_FLOPS_PER_WORKER: usize = 1 << 15;
+
+/// Effective worker count for a convolution pass of `work` multiply-adds.
+fn conv_workers(work: usize) -> usize {
+    parallel::workers_for(work, PAR_FLOPS_PER_WORKER)
+}
 
 /// 2-D convolution over `[batch, in_ch, h, w]` inputs.
 #[derive(Debug, Clone)]
@@ -103,6 +115,10 @@ impl Conv2d {
     }
 }
 
+/// Batched 2-D convolution forward pass, parallel over the
+/// `batch x cout` output planes. Each plane is written by exactly one
+/// worker in the historical loop order, so results are bit-for-bit
+/// identical at every thread count (the parity tests assert this).
 fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, stride: usize, pad: usize) -> Tensor {
     let (batch, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
@@ -111,11 +127,75 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, stride: usize, pad: usize)
     let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
     let (xs, ws, bs) = (x.as_slice(), w.as_slice(), b.as_slice());
     let os = out.as_mut_slice();
-    for bi in 0..batch {
+    let plane = |pi: usize, dst: &mut [f32]| {
+        let (bi, f) = (pi / cout, pi % cout);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bs[f];
+                for c in 0..cin {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix as usize >= wid {
+                                continue;
+                            }
+                            acc += xs[((bi * cin + c) * h + iy as usize) * wid + ix as usize]
+                                * ws[((f * cin + c) * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+                dst[oy * ow + ox] = acc;
+            }
+        }
+    };
+    let workers = conv_workers(batch * cout * oh * ow * cin * kh * kw);
+    // With one worker, par_chunks_mut runs the planes in order on the
+    // calling thread — the serial reference path.
+    parallel::with_threads(workers, || parallel::par_chunks_mut(os, oh * ow, plane));
+    out
+}
+
+/// Batched 2-D convolution backward pass.
+///
+/// The historical single loop fused the three gradients; accumulating
+/// `dx` (shared across `cout`) and `dw` (shared across `batch`) from one
+/// loop nest cannot be split across workers without locks, so the pass is
+/// restructured as three independent sweeps: `dx` parallel over `batch`,
+/// `dw` parallel over `cout`, and the tiny `db` reduction serial. Per
+/// gradient element the accumulation order matches the fused loop exactly
+/// (bit-for-bit at every thread count), because the fused loop already
+/// ordered contributions `(f, oy, ox)`-major for `dx` and
+/// `(bi, oy, ox)`-major for `dw`.
+///
+/// The `go == 0.0` skips are kept deliberately, unlike the forward
+/// matmul's IEEE-incorrect zero-skip that this PR removed: upstream
+/// gradients are routinely *structurally* zero (ReLU masks, clipped
+/// losses, one-hot targets), the skip is a large win there, and a
+/// gradient that fails to propagate `0 x NaN` does not mask a blowup —
+/// the forward pass producing the NaN already reports it.
+fn conv2d_backward(g: &Tensor, x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Vec<Tensor> {
+    let (batch, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let (oh, ow) = (g.shape()[2], g.shape()[3]);
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(w.shape());
+    let mut db = Tensor::zeros(&[cout]);
+    let (gs, xs, ws) = (g.as_slice(), x.as_slice(), w.as_slice());
+    let workers = conv_workers(batch * cout * oh * ow * cin * kh * kw);
+
+    // dx: each worker owns one batch element's input gradient.
+    let dx_batch = |bi: usize, dxb: &mut [f32]| {
         for f in 0..cout {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let mut acc = bs[f];
+                    let go = gs[((bi * cout + f) * oh + oy) * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
                     for c in 0..cin {
                         for ky in 0..kh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
@@ -127,58 +207,58 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, stride: usize, pad: usize)
                                 if ix < 0 || ix as usize >= wid {
                                     continue;
                                 }
-                                acc += xs[((bi * cin + c) * h + iy as usize) * wid + ix as usize]
-                                    * ws[((f * cin + c) * kh + ky) * kw + kx];
+                                dxb[(c * h + iy as usize) * wid + ix as usize] +=
+                                    go * ws[((f * cin + c) * kh + ky) * kw + kx];
                             }
                         }
                     }
-                    os[((bi * cout + f) * oh + oy) * ow + ox] = acc;
                 }
             }
         }
-    }
-    out
-}
-
-fn conv2d_backward(g: &Tensor, x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Vec<Tensor> {
-    let (batch, cin, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let (cout, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
-    let (oh, ow) = (g.shape()[2], g.shape()[3]);
-    let mut dx = Tensor::zeros(x.shape());
-    let mut dw = Tensor::zeros(w.shape());
-    let mut db = Tensor::zeros(&[cout]);
-    let (gs, xs, ws) = (g.as_slice(), x.as_slice(), w.as_slice());
+    };
+    // dw: each worker owns one output filter's weight gradient.
+    let dw_filter = |f: usize, dwf: &mut [f32]| {
+        for bi in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = gs[((bi * cout + f) * oh + oy) * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    for c in 0..cin {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= wid {
+                                    continue;
+                                }
+                                dwf[(c * kh + ky) * kw + kx] +=
+                                    go * xs[((bi * cin + c) * h + iy as usize) * wid + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
     {
         let dxs = dx.as_mut_slice();
         let dws = dw.as_mut_slice();
+        parallel::with_threads(workers, || {
+            parallel::par_chunks_mut(dxs, cin * h * wid, dx_batch);
+            parallel::par_chunks_mut(dws, cin * kh * kw, dw_filter);
+        });
         let dbs = db.as_mut_slice();
-        for bi in 0..batch {
-            for f in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = gs[((bi * cout + f) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        dbs[f] += go;
-                        for c in 0..cin {
-                            for ky in 0..kh {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy as usize >= h {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix as usize >= wid {
-                                        continue;
-                                    }
-                                    let xi = ((bi * cin + c) * h + iy as usize) * wid + ix as usize;
-                                    let wi = ((f * cin + c) * kh + ky) * kw + kx;
-                                    dxs[xi] += go * ws[wi];
-                                    dws[wi] += go * xs[xi];
-                                }
-                            }
-                        }
+        for (f, dbf) in dbs.iter_mut().enumerate() {
+            for bi in 0..batch {
+                let plane = &gs[(bi * cout + f) * oh * ow..(bi * cout + f + 1) * oh * ow];
+                for &go in plane {
+                    if go != 0.0 {
+                        *dbf += go;
                     }
                 }
             }
@@ -304,44 +384,49 @@ fn conv3d_forward(
     let mut out = Tensor::zeros(&[batch, cout, ot, oh, ow]);
     let (xs, ws, bs) = (x.as_slice(), w.as_slice(), b.as_slice());
     let os = out.as_mut_slice();
-    for bi in 0..batch {
-        for f in 0..cout {
-            for oz in 0..ot {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bs[f];
-                        for c in 0..cin {
-                            for kz in 0..kt {
-                                let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
-                                if iz < 0 || iz as usize >= t {
+    // Parallel over the batch x cout output volumes; within a volume the
+    // historical loop order is preserved (bit-for-bit at any thread
+    // count).
+    let volume = |pi: usize, dst: &mut [f32]| {
+        let (bi, f) = (pi / cout, pi % cout);
+        for oz in 0..ot {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bs[f];
+                    for c in 0..cin {
+                        for kz in 0..kt {
+                            let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                            if iz < 0 || iz as usize >= t {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                if iy < 0 || iy as usize >= h {
                                     continue;
                                 }
-                                for ky in 0..kh {
-                                    let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
-                                    if iy < 0 || iy as usize >= h {
+                                for kx in 0..kw {
+                                    let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                    if ix < 0 || ix as usize >= wid {
                                         continue;
                                     }
-                                    for kx in 0..kw {
-                                        let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
-                                        if ix < 0 || ix as usize >= wid {
-                                            continue;
-                                        }
-                                        let xi = (((bi * cin + c) * t + iz as usize) * h
-                                            + iy as usize)
-                                            * wid
-                                            + ix as usize;
-                                        let wi = (((f * cin + c) * kt + kz) * kh + ky) * kw + kx;
-                                        acc += xs[xi] * ws[wi];
-                                    }
+                                    let xi = (((bi * cin + c) * t + iz as usize) * h + iy as usize)
+                                        * wid
+                                        + ix as usize;
+                                    let wi = (((f * cin + c) * kt + kz) * kh + ky) * kw + kx;
+                                    acc += xs[xi] * ws[wi];
                                 }
                             }
                         }
-                        os[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox] = acc;
                     }
+                    dst[(oz * oh + oy) * ow + ox] = acc;
                 }
             }
         }
-    }
+    };
+    let workers = conv_workers(batch * cout * ot * oh * ow * cin * kt * kh * kw);
+    parallel::with_threads(workers, || {
+        parallel::par_chunks_mut(os, ot * oh * ow, volume)
+    });
     out
 }
 
@@ -361,49 +446,104 @@ fn conv3d_backward(
     let mut dw = Tensor::zeros(w.shape());
     let mut db = Tensor::zeros(&[cout]);
     let (gs, xs, ws) = (g.as_slice(), x.as_slice(), w.as_slice());
-    {
-        let dxs = dx.as_mut_slice();
-        let dws = dw.as_mut_slice();
-        let dbs = db.as_mut_slice();
-        for bi in 0..batch {
-            for f in 0..cout {
-                for oz in 0..ot {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let go = gs[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox];
-                            if go == 0.0 {
-                                continue;
-                            }
-                            dbs[f] += go;
-                            for c in 0..cin {
-                                for kz in 0..kt {
-                                    let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
-                                    if iz < 0 || iz as usize >= t {
+    let workers = conv_workers(batch * cout * ot * oh * ow * cin * kt * kh * kw);
+
+    // Same restructuring as `conv2d_backward`: three independent sweeps
+    // so `dx` (parallel over batch) and `dw` (parallel over cout) write
+    // lock-free; per-element accumulation order matches the historical
+    // fused loop bit-for-bit, and the `go == 0.0` skips are the same
+    // deliberate structural-sparsity optimization documented there.
+    let dx_batch = |bi: usize, dxb: &mut [f32]| {
+        for f in 0..cout {
+            for oz in 0..ot {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = gs[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for c in 0..cin {
+                            for kz in 0..kt {
+                                let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                                if iz < 0 || iz as usize >= t {
+                                    continue;
+                                }
+                                for ky in 0..kh {
+                                    let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                    if iy < 0 || iy as usize >= h {
                                         continue;
                                     }
-                                    for ky in 0..kh {
-                                        let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
-                                        if iy < 0 || iy as usize >= h {
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                        if ix < 0 || ix as usize >= wid {
                                             continue;
                                         }
-                                        for kx in 0..kw {
-                                            let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
-                                            if ix < 0 || ix as usize >= wid {
-                                                continue;
-                                            }
-                                            let xi = (((bi * cin + c) * t + iz as usize) * h
-                                                + iy as usize)
-                                                * wid
-                                                + ix as usize;
-                                            let wi =
-                                                (((f * cin + c) * kt + kz) * kh + ky) * kw + kx;
-                                            dxs[xi] += go * ws[wi];
-                                            dws[wi] += go * xs[xi];
-                                        }
+                                        dxb[((c * t + iz as usize) * h + iy as usize) * wid
+                                            + ix as usize] += go
+                                            * ws[(((f * cin + c) * kt + kz) * kh + ky) * kw + kx];
                                     }
                                 }
                             }
                         }
+                    }
+                }
+            }
+        }
+    };
+    let dw_filter = |f: usize, dwf: &mut [f32]| {
+        for bi in 0..batch {
+            for oz in 0..ot {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = gs[(((bi * cout + f) * ot + oz) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for c in 0..cin {
+                            for kz in 0..kt {
+                                let iz = (oz * stride.0 + kz) as isize - pad.0 as isize;
+                                if iz < 0 || iz as usize >= t {
+                                    continue;
+                                }
+                                for ky in 0..kh {
+                                    let iy = (oy * stride.1 + ky) as isize - pad.1 as isize;
+                                    if iy < 0 || iy as usize >= h {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride.2 + kx) as isize - pad.2 as isize;
+                                        if ix < 0 || ix as usize >= wid {
+                                            continue;
+                                        }
+                                        dwf[((c * kt + kz) * kh + ky) * kw + kx] += go
+                                            * xs[(((bi * cin + c) * t + iz as usize) * h
+                                                + iy as usize)
+                                                * wid
+                                                + ix as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    {
+        let dxs = dx.as_mut_slice();
+        let dws = dw.as_mut_slice();
+        parallel::with_threads(workers, || {
+            parallel::par_chunks_mut(dxs, cin * t * h * wid, dx_batch);
+            parallel::par_chunks_mut(dws, cin * kt * kh * kw, dw_filter);
+        });
+        let dbs = db.as_mut_slice();
+        let vol = ot * oh * ow;
+        for (f, dbf) in dbs.iter_mut().enumerate() {
+            for bi in 0..batch {
+                let plane = &gs[(bi * cout + f) * vol..(bi * cout + f + 1) * vol];
+                for &go in plane {
+                    if go != 0.0 {
+                        *dbf += go;
                     }
                 }
             }
@@ -518,6 +658,55 @@ mod tests {
             g.sum(q)
         })
         .unwrap();
+    }
+
+    /// Forward and backward must be bit-for-bit identical across thread
+    /// counts 1, 2 and > batch*cout, on odd shapes with stride and
+    /// padding (micro-split remainders on every axis).
+    #[test]
+    fn conv2d_parallel_matches_serial_bit_for_bit() {
+        use snappix_tensor::parallel::with_threads;
+        let mut rng = StdRng::seed_from_u64(7);
+        // Sized for >= 2 workers' worth of PAR_FLOPS_PER_WORKER so the
+        // parallel path actually engages (4*6 planes of 10x11 outputs,
+        // 27-element kernels).
+        let x = Tensor::rand_uniform(&mut rng, &[4, 3, 19, 21], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[6, 3, 3, 3], -0.5, 0.5);
+        let b = Tensor::rand_uniform(&mut rng, &[6], -0.5, 0.5);
+        let y_ref = with_threads(1, || conv2d_forward(&x, &w, &b, 2, 1));
+        let g = Tensor::rand_uniform(&mut rng, y_ref.shape(), -1.0, 1.0);
+        let grads_ref = with_threads(1, || conv2d_backward(&g, &x, &w, 2, 1));
+        for threads in [2usize, 4, 4 * 6 + 2] {
+            let y = with_threads(threads, || conv2d_forward(&x, &w, &b, 2, 1));
+            assert_eq!(y.as_slice(), y_ref.as_slice(), "{threads} threads");
+            let grads = with_threads(threads, || conv2d_backward(&g, &x, &w, 2, 1));
+            for (got, want) in grads.iter().zip(&grads_ref) {
+                assert_eq!(got.as_slice(), want.as_slice(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn conv3d_parallel_matches_serial_bit_for_bit() {
+        use snappix_tensor::parallel::with_threads;
+        let mut rng = StdRng::seed_from_u64(8);
+        // >= 4 workers' worth of PAR_FLOPS_PER_WORKER (3*4 volumes of
+        // 7x5x9 outputs, 36-element kernels).
+        let x = Tensor::rand_uniform(&mut rng, &[3, 2, 6, 9, 11], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[4, 2, 2, 3, 3], -0.5, 0.5);
+        let b = Tensor::rand_uniform(&mut rng, &[4], -0.5, 0.5);
+        let (stride, pad) = ((1, 2, 1), (1, 1, 0));
+        let y_ref = with_threads(1, || conv3d_forward(&x, &w, &b, stride, pad));
+        let g = Tensor::rand_uniform(&mut rng, y_ref.shape(), -1.0, 1.0);
+        let grads_ref = with_threads(1, || conv3d_backward(&g, &x, &w, stride, pad));
+        for threads in [2usize, 3 * 4 + 5] {
+            let y = with_threads(threads, || conv3d_forward(&x, &w, &b, stride, pad));
+            assert_eq!(y.as_slice(), y_ref.as_slice(), "{threads} threads");
+            let grads = with_threads(threads, || conv3d_backward(&g, &x, &w, stride, pad));
+            for (got, want) in grads.iter().zip(&grads_ref) {
+                assert_eq!(got.as_slice(), want.as_slice(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

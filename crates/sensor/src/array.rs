@@ -3,7 +3,12 @@
 
 use crate::{CePixel, Readout, Result, SensorError};
 use snappix_ce::ExposureMask;
-use snappix_tensor::Tensor;
+use snappix_tensor::{parallel, Tensor};
+
+/// Shift-register clock edges each scoped worker must receive before it
+/// is worth spawning, fed to [`parallel::workers_for`] (a shift is a few
+/// ops, so this slab runs on the order of 250 µs).
+const PAR_SHIFTS_PER_WORKER: usize = 1 << 20;
 
 /// Cycle and pulse accounting for one capture, used by the energy model to
 /// price the CE control overhead (the paper reports 9 pJ/pixel at a
@@ -99,52 +104,21 @@ impl CeSensor {
         Ok(&self.pixels[y * self.width + x])
     }
 
-    /// Streams the CE bits for `slot` into every tile's shift register.
-    ///
-    /// All tiles stream in parallel (each has its own 4-wire interface);
-    /// the pattern clock runs `th * tw` cycles. Bits are pushed
-    /// last-pixel-first so that after the final cycle pixel `k` of each
-    /// tile holds bit `k`.
-    fn stream_pattern(&mut self, slot: usize) {
-        let (th, tw) = self.mask.tile();
-        let chain_len = th * tw;
-        let pattern = self.mask.pattern().as_slice();
-        let slot_bits = &pattern[slot * chain_len..(slot + 1) * chain_len];
-        // Ungate every DFF for streaming.
-        for p in &mut self.pixels {
-            p.set_gated(false);
-        }
-        let tiles_y = self.height / th;
-        let tiles_x = self.width / tw;
-        for cycle in 0..chain_len {
-            // Bit entering each chain this cycle (reverse order).
-            let incoming = slot_bits[chain_len - 1 - cycle] != 0.0;
-            for ty in 0..tiles_y {
-                for tx in 0..tiles_x {
-                    // Walk the chain backwards so each pixel consumes its
-                    // predecessor's previous output within one clock edge.
-                    let mut carry = incoming;
-                    for k in 0..chain_len {
-                        let (dy, dx) = (k / tw, k % tw);
-                        let idx = (ty * th + dy) * self.width + (tx * tw + dx);
-                        carry = self.pixels[idx].shift(carry);
-                    }
-                }
-            }
-        }
-        self.stats.pattern_clock_cycles += chain_len as u64;
-        // Power-gate again once the bits are in place.
-        for p in &mut self.pixels {
-            p.set_gated(true);
-        }
-    }
-
     /// Captures a `[t, h, w]` irradiance video through the slot protocol
     /// and returns the analog `[h, w]` FD image.
     ///
     /// Protocol per slot (paper Sec. V): stream bits, pulse `M6`
     /// (conditional PD reset), integrate the slot, stream the same bits
     /// again, pulse `M7` (conditional transfer), power-gate the DFFs.
+    ///
+    /// The simulation runs the protocol per *band* of `th` pixel rows:
+    /// shift chains never leave their tile, and per-pixel reset, exposure
+    /// and transfer are purely local, so bands are fully independent.
+    /// Large captures split the bands across the shared worker pool (see
+    /// [`snappix_tensor::parallel`]); with `SNAPPIX_THREADS=1` — or a
+    /// small array — all bands run on the calling thread. Either way
+    /// every pixel sees the exact same operation sequence, so results
+    /// are bit-for-bit identical at every thread count.
     ///
     /// # Errors
     ///
@@ -167,42 +141,67 @@ impl CeSensor {
                 ),
             });
         }
-        self.stats = CaptureStats::default();
         for p in &mut self.pixels {
             *p = CePixel::new();
             p.reset_fd();
         }
+        let (th, tw) = self.mask.tile();
+        let chain_len = th * tw;
+        let pattern = self.mask.pattern().as_slice();
+        // Chain position k of a tile sits at tile row k / tw, tile column
+        // k % tw; precomputing the band-slice offsets removes a div/mod
+        // from every shift of the innermost loop.
+        let chain: Vec<usize> = (0..chain_len).map(|k| (k / tw) * w + (k % tw)).collect();
+        let tiles_x = w / tw;
         let frames = video.as_slice();
-        for slot in 0..t {
-            // Phase 1: program the slot's bits and conditionally reset PDs.
-            self.stream_pattern(slot);
-            for p in &mut self.pixels {
-                p.pattern_reset();
+        let run_band = |band_index: usize, band: &mut [CePixel]| {
+            let row0 = band_index * th;
+            for slot in 0..t {
+                let slot_bits = &pattern[slot * chain_len..(slot + 1) * chain_len];
+                // Phase 1: program the slot's bits and conditionally
+                // reset PDs.
+                stream_band(band, slot_bits, &chain, tiles_x, tw);
+                for p in band.iter_mut() {
+                    p.pattern_reset();
+                }
+                // Phase 2: integrate the slot (every PD integrates;
+                // gating is done purely through reset/transfer).
+                let frame = &frames[(slot * h + row0) * w..(slot * h + row0 + th) * w];
+                for (p, &light) in band.iter_mut().zip(frame) {
+                    p.expose(light, 1.0);
+                }
+                // Phase 3: re-stream the same bits and conditionally
+                // transfer.
+                stream_band(band, slot_bits, &chain, tiles_x, tw);
+                for p in band.iter_mut() {
+                    p.pattern_transfer();
+                }
             }
-            self.stats.pattern_reset_pulses += 1;
-
-            // Phase 2: integrate the slot (every PD integrates; gating is
-            // done purely through reset/transfer).
-            let frame = &frames[slot * h * w..(slot + 1) * h * w];
-            for (p, &light) in self.pixels.iter_mut().zip(frame) {
-                p.expose(light, 1.0);
-            }
-            self.stats.exposure_slots += 1;
-
-            // Phase 3: re-stream the same bits and conditionally transfer.
-            self.stream_pattern(slot);
-            for p in &mut self.pixels {
-                p.pattern_transfer();
-            }
-            self.stats.pattern_transfer_pulses += 1;
-        }
+        };
+        let band_pixels = th * w;
+        // Dominant cost: two streams per slot, each clocking every pixel
+        // `chain_len` times.
+        let workers = parallel::workers_for(2 * t * h * w * chain_len, PAR_SHIFTS_PER_WORKER);
+        parallel::with_threads(workers, || {
+            parallel::par_chunks_mut(&mut self.pixels, band_pixels, run_band)
+        });
+        // Protocol accounting is deterministic in the geometry: two
+        // streams of `chain_len` cycles plus one reset and one transfer
+        // pulse per slot (matching the per-call counting the serial loop
+        // used to do).
+        self.stats = CaptureStats {
+            pattern_clock_cycles: 2 * t as u64 * chain_len as u64,
+            pattern_reset_pulses: t as u64,
+            pattern_transfer_pulses: t as u64,
+            exposure_slots: t as u64,
+            pixels_read: (h * w) as u64,
+        };
         // Rolling readout of the FD array.
         let mut out = Tensor::zeros(&[h, w]);
         let data = out.as_mut_slice();
         for (d, p) in data.iter_mut().zip(&self.pixels) {
             *d = p.read();
         }
-        self.stats.pixels_read = (h * w) as u64;
         Ok(out)
     }
 
@@ -216,6 +215,49 @@ impl CeSensor {
     pub fn capture_digital(&mut self, video: &Tensor, readout: &mut Readout) -> Result<Tensor> {
         let analog = self.capture(video)?;
         Ok(readout.digitize(&analog))
+    }
+}
+
+/// Streams one slot's CE bits into every shift register of a band of
+/// `th` pixel rows (one tile-row of the array).
+///
+/// All tiles stream in parallel in hardware (each has its own 4-wire
+/// interface); the pattern clock runs `chain.len()` cycles and bits are
+/// pushed last-pixel-first so that after the final cycle pixel `k` of
+/// each tile holds bit `k`. Tiles never interact, so the simulation walks
+/// them one at a time (all cycles of a tile before the next tile) —
+/// the per-pixel operation sequence is identical to clocking all tiles
+/// in lockstep, and the tile's pixels stay cache-hot across cycles.
+///
+/// `chain[k]` is the precomputed band-slice offset of chain position `k`
+/// from the tile's origin.
+fn stream_band(
+    band: &mut [CePixel],
+    slot_bits: &[f32],
+    chain: &[usize],
+    tiles_x: usize,
+    tw: usize,
+) {
+    // Ungate every DFF for streaming.
+    for p in band.iter_mut() {
+        p.set_gated(false);
+    }
+    let chain_len = chain.len();
+    for tx in 0..tiles_x {
+        let origin = tx * tw;
+        for cycle in 0..chain_len {
+            // Bit entering the chain this cycle (reverse order). Walk the
+            // chain front-to-back so each pixel consumes its
+            // predecessor's previous output within one clock edge.
+            let mut carry = slot_bits[chain_len - 1 - cycle] != 0.0;
+            for &offset in chain {
+                carry = band[origin + offset].shift(carry);
+            }
+        }
+    }
+    // Power-gate again once the bits are in place.
+    for p in band.iter_mut() {
+        p.set_gated(true);
     }
 }
 
@@ -268,6 +310,33 @@ mod tests {
         let hw = sensor.capture(&video).unwrap();
         let sw = encode(&video, &mask).unwrap();
         assert!(hw.approx_eq(&sw, 1e-5));
+    }
+
+    /// A capture must be bit-for-bit identical across thread counts 1, 2
+    /// and > bands, including a geometry large enough to cross the
+    /// parallel threshold, with identical protocol accounting.
+    #[test]
+    fn capture_parallel_matches_serial_bit_for_bit() {
+        use snappix_tensor::parallel::with_threads;
+        let mut rng = StdRng::seed_from_u64(5);
+        // 48x48 with 8x8 tiles at t=16: 6 bands, ~4.7M shift edges —
+        // several workers' worth of PAR_SHIFTS_PER_WORKER.
+        let mask = patterns::random(16, (8, 8), 0.5, &mut rng).unwrap();
+        let video = Tensor::rand_uniform(&mut rng, &[16, 48, 48], 0.0, 1.0);
+        let (reference, ref_stats) = with_threads(1, || {
+            let mut sensor = CeSensor::new(48, 48, mask.clone()).unwrap();
+            let img = sensor.capture(&video).unwrap();
+            (img, sensor.stats())
+        });
+        for threads in [2usize, 5, 40] {
+            let (img, stats) = with_threads(threads, || {
+                let mut sensor = CeSensor::new(48, 48, mask.clone()).unwrap();
+                let img = sensor.capture(&video).unwrap();
+                (img, sensor.stats())
+            });
+            assert_eq!(img.as_slice(), reference.as_slice(), "{threads} threads");
+            assert_eq!(stats, ref_stats, "{threads} threads");
+        }
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! energy model, [`evaluate_deployment`] combines both, and every failure
 //! across the stack surfaces as the unified [`Error`].
 //!
+//! Hot kernels across the workspace (matmul, convolutions, Pearson
+//! statistics, the sensor capture simulation) fan out across the shared
+//! data-parallel layer in [`snappix_tensor::parallel`]: worker count from
+//! `SNAPPIX_THREADS` or the machine's available parallelism, overridable
+//! per pipeline with [`PipelineBuilder::with_threads`]. Results are
+//! bit-for-bit identical at every thread count.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -71,19 +78,14 @@ mod error;
 mod node;
 mod pipeline;
 mod report;
-mod system;
 
 pub use error::Error;
 pub use node::EdgeNode;
 pub use pipeline::{Inference, Pipeline, PipelineBuilder, Prediction};
 pub use report::{evaluate_deployment, DeploymentReport};
-#[allow(deprecated)]
-pub use system::{SnapPixSystem, SystemError};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::SnapPixSystem;
     pub use crate::{
         evaluate_deployment, DeploymentReport, EdgeNode, Error, Inference, Pipeline,
         PipelineBuilder, Prediction,
@@ -100,6 +102,7 @@ pub mod prelude {
         VideoVit, VitConfig,
     };
     pub use snappix_sensor::{CeSensor, HardwareSensor, Readout, ReadoutConfig};
+    pub use snappix_tensor::parallel;
     pub use snappix_tensor::Tensor;
     pub use snappix_video::{k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video};
 }

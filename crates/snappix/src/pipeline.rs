@@ -1,7 +1,8 @@
 //! The throughput-first inference engine: batched clips in, logits and
 //! labels per clip out.
 //!
-//! [`Pipeline`] replaces the one-clip-at-a-time `SnapPixSystem`: it owns
+//! [`Pipeline`] replaced the one-clip-at-a-time `SnapPixSystem` (retired
+//! after its deprecation release): it owns
 //! a persistent [`SessionPool`] so the autograd graph and parameter
 //! bindings are reused across calls instead of being reallocated per
 //! clip, it accepts `[batch, t, h, w]` clip batches so the whole batch
@@ -14,7 +15,15 @@ use snappix_ce::{AlgorithmicEncoder, Sense};
 use snappix_models::{ActionModel, SnapPixAr};
 use snappix_nn::SessionPool;
 use snappix_sensor::{HardwareSensor, ReadoutConfig};
-use snappix_tensor::Tensor;
+use snappix_tensor::{parallel, Tensor};
+
+/// Runs `f` under the pipeline's worker-count override, when one is set.
+fn with_pool<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match threads {
+        Some(n) => parallel::with_threads(n, f),
+        None => f(),
+    }
+}
 
 /// Result of classifying one clip: the raw class logits and the winning
 /// label.
@@ -76,6 +85,7 @@ pub struct PipelineBuilder<S: Sense = AlgorithmicEncoder> {
     model: SnapPixAr,
     backend: S,
     max_pending: usize,
+    threads: Option<usize>,
 }
 
 impl<S: Sense> PipelineBuilder<S> {
@@ -95,6 +105,7 @@ impl<S: Sense> PipelineBuilder<S> {
             model: self.model,
             backend,
             max_pending: self.max_pending,
+            threads: self.threads,
         }
     }
 
@@ -104,7 +115,7 @@ impl<S: Sense> PipelineBuilder<S> {
     /// The sensor geometry and mask are taken from the model, and the
     /// readout's `full_scale` is overridden to the mask's slot count so
     /// the ADC range matches the worst-case accumulated charge (the same
-    /// convention the deprecated `SnapPixSystem::new` applied).
+    /// convention the retired `SnapPixSystem::new` applied).
     ///
     /// # Errors
     ///
@@ -125,6 +136,7 @@ impl<S: Sense> PipelineBuilder<S> {
             model: self.model,
             backend,
             max_pending: self.max_pending,
+            threads: self.threads,
         })
     }
 
@@ -134,6 +146,23 @@ impl<S: Sense> PipelineBuilder<S> {
     #[must_use]
     pub fn with_max_pending(mut self, max_pending: usize) -> Self {
         self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Pins the worker count this pipeline's sensing and inference run
+    /// with (clamped to at least 1), scoped per call through
+    /// [`snappix_tensor::parallel::with_threads`].
+    ///
+    /// By default the pipeline inherits the ambient setting — the
+    /// `SNAPPIX_THREADS` environment variable, else the machine's
+    /// available parallelism — so serving callers only need this knob to
+    /// isolate pipelines from each other (e.g. one serial pipeline per
+    /// core versus one pipeline fanning out across all cores).
+    /// `with_threads(1)` makes every kernel take its deterministic
+    /// serial reference path.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -157,14 +186,6 @@ impl<S: Sense> PipelineBuilder<S> {
                 ),
             });
         }
-        self.build_unchecked()
-    }
-
-    /// Like [`build`](Self::build) but skips the normalization-agreement
-    /// check (the mask check still applies). Crate-internal: the
-    /// deprecated `SnapPixSystem` shim preserves the legacy quirk of
-    /// normalizing `sense` output even for unnormalized models.
-    pub(crate) fn build_unchecked(self) -> Result<Pipeline<S>, Error> {
         if self.backend.mask() != self.model.mask() {
             return Err(Error::Pipeline {
                 context: format!(
@@ -183,6 +204,7 @@ impl<S: Sense> PipelineBuilder<S> {
             pool: SessionPool::new(),
             pending: Vec::new(),
             max_pending: self.max_pending,
+            threads: self.threads,
         })
     }
 }
@@ -194,7 +216,7 @@ impl<S: Sense> PipelineBuilder<S> {
 /// *one* forward pass per batch, and the session behind that pass is
 /// reused across calls via a persistent [`SessionPool`] — the structure
 /// a node serving heavy traffic needs, instead of the per-clip
-/// allocate-and-drop of the deprecated `SnapPixSystem`.
+/// allocate-and-drop of the retired `SnapPixSystem`.
 ///
 /// Single-clip callers can still reach batched throughput through the
 /// [`submit`](Self::submit)/[`flush`](Self::flush) micro-batching queue.
@@ -220,6 +242,7 @@ pub struct Pipeline<S: Sense = AlgorithmicEncoder> {
     pool: SessionPool,
     pending: Vec<Tensor>,
     max_pending: usize,
+    threads: Option<usize>,
 }
 
 impl<S: Sense> std::fmt::Debug for Pipeline<S> {
@@ -244,6 +267,7 @@ impl Pipeline<AlgorithmicEncoder> {
             model,
             backend,
             max_pending: 8,
+            threads: None,
         }
     }
 }
@@ -283,6 +307,13 @@ where
         self.max_pending
     }
 
+    /// The pinned worker count, if [`PipelineBuilder::with_threads`] set
+    /// one; `None` means the ambient `SNAPPIX_THREADS` / machine default
+    /// applies.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// Senses one `[t, h, w]` clip into the coded image the node would
     /// transmit, without classifying it.
     ///
@@ -290,7 +321,7 @@ where
     ///
     /// Fails when the clip does not match the backend.
     pub fn sense(&mut self, clip: &Tensor) -> Result<Tensor, Error> {
-        self.backend.sense(clip).map_err(Error::from)
+        with_pool(self.threads, || self.backend.sense(clip)).map_err(Error::from)
     }
 
     /// Classifies a `[batch, t, h, w]` clip batch in one model forward
@@ -306,8 +337,10 @@ where
     ///
     /// Fails when the clips do not match the backend or the model.
     pub fn infer(&mut self, clips: &Tensor) -> Result<Inference, Error> {
-        let coded = self.backend.sense_batch(clips)?;
-        self.infer_coded(&coded)
+        with_pool(self.threads, || {
+            let coded = self.backend.sense_batch(clips)?;
+            self.infer_coded(&coded)
+        })
     }
 
     /// Classifies one `[t, h, w]` clip.
@@ -321,9 +354,12 @@ where
     ///
     /// Fails when the clip does not match the backend or the model.
     pub fn infer_clip(&mut self, clip: &Tensor) -> Result<Prediction, Error> {
-        let coded = self.backend.sense(clip)?;
-        let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
-        self.infer_coded(&batch)?.prediction(0)
+        with_pool(self.threads, || {
+            let coded = self.backend.sense(clip)?;
+            let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
+            self.infer_coded(&batch)
+        })?
+        .prediction(0)
     }
 
     /// Classifies one `[t, h, w]` clip and returns only the label.

@@ -32,6 +32,7 @@
 
 mod error;
 mod ops;
+pub mod parallel;
 mod random;
 mod shape;
 mod tensor;

@@ -61,15 +61,38 @@ impl Tensor {
                 let lhs = self.as_slice();
                 let rhs = other.as_slice();
                 let dst = out.as_mut_slice();
-                for b in 0..b1 {
-                    matmul_kernel(
-                        &lhs[b * m * k1..(b + 1) * m * k1],
-                        &rhs[b * k1 * n..(b + 1) * k1 * n],
-                        &mut dst[b * m * n..(b + 1) * m * n],
-                        m,
-                        k1,
-                        n,
-                    );
+                let threads =
+                    crate::parallel::workers_for(b1 * m * k1 * n, PAR_FLOPS_PER_WORKER).min(b1);
+                if threads > 1 && b1 >= crate::parallel::current_threads() {
+                    // Enough batches to feed every worker: split
+                    // batch-wise, each batch running the blocked kernel
+                    // serially. With fewer batches than workers the
+                    // per-batch loop below is better — each product then
+                    // row-slab-splits inside `matmul_kernel` instead of
+                    // leaving workers idle.
+                    crate::parallel::with_threads(threads, || {
+                        crate::parallel::par_chunks_mut(dst, m * n, |b, block| {
+                            matmul_block(
+                                &lhs[b * m * k1..(b + 1) * m * k1],
+                                &rhs[b * k1 * n..(b + 1) * k1 * n],
+                                block,
+                                m,
+                                k1,
+                                n,
+                            );
+                        });
+                    });
+                } else {
+                    for b in 0..b1 {
+                        matmul_kernel(
+                            &lhs[b * m * k1..(b + 1) * m * k1],
+                            &rhs[b * k1 * n..(b + 1) * k1 * n],
+                            &mut dst[b * m * n..(b + 1) * m * n],
+                            m,
+                            k1,
+                            n,
+                        );
+                    }
                 }
                 Ok(out)
             }
@@ -479,21 +502,134 @@ impl Tensor {
     }
 }
 
-/// Cache-friendly `m x k * k x n` kernel (ikj loop order) accumulating into
+/// Rows per register micro-tile of the blocked matmul kernel.
+const MR: usize = 4;
+/// Columns per register micro-tile of the blocked matmul kernel.
+const NR: usize = 8;
+/// Column-panel width: a row slab works through the right-hand side in
+/// `k x JC` stripes so the stripe stays cache-resident across the slab.
+const JC: usize = 128;
+/// Multiply-adds each scoped worker must receive before it is worth
+/// spawning: a slab of this size runs ~100 µs serially, an order of
+/// magnitude above thread spawn/join cost. The effective worker count is
+/// `min(current_threads, work / PAR_FLOPS_PER_WORKER)`, so small
+/// products stay on the calling thread and medium ones use fewer
+/// workers than the machine has — oversubscribed or not, the spawn
+/// overhead stays a small fraction of the work.
+const PAR_FLOPS_PER_WORKER: usize = 1 << 18;
+
+/// Cache-blocked, data-parallel `m x k * k x n` kernel accumulating into
 /// `dst`, which must be zero-initialized.
+///
+/// Large products are split into row slabs across
+/// [`parallel::par_chunks_mut`] workers; each slab runs the blocked serial
+/// kernel [`matmul_block`]. Every output element accumulates its `k`
+/// products in ascending-`p` order exactly like the naive reference
+/// [`matmul_kernel_serial`], so results are bit-for-bit identical to the
+/// serial path at every thread count (the parity tests assert this).
+///
+/// Unlike the historical kernel, `lhs` zeros are **not** skipped: skipping
+/// turned `0 x inf` and `0 x NaN` into `0`, silently masking upstream
+/// numerical blowups instead of propagating them per IEEE 754.
 fn matmul_kernel(lhs: &[f32], rhs: &[f32], dst: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = crate::parallel::workers_for(m * k * n, PAR_FLOPS_PER_WORKER).min(m / (2 * MR));
+    if threads <= 1 {
+        matmul_block(lhs, rhs, dst, m, k, n);
+        return;
+    }
+    // ~2 slabs per worker keeps the queue balanced without shredding the
+    // cache blocking; slabs are whole multiples of the micro-tile height.
+    let slab_rows = m.div_ceil(threads * 2).next_multiple_of(MR);
+    crate::parallel::with_threads(threads, || {
+        crate::parallel::par_chunks_mut(dst, slab_rows * n, |slab, dslab| {
+            let row0 = slab * slab_rows;
+            let rows = dslab.len() / n;
+            matmul_block(&lhs[row0 * k..(row0 + rows) * k], rhs, dslab, rows, k, n);
+        });
+    });
+}
+
+/// Serial reference kernel (i-k-j loop order) accumulating into `dst`,
+/// which must be zero-initialized. This is the specification the blocked
+/// kernel is tested against; it is deliberately kept naive.
+#[cfg_attr(not(test), allow(dead_code))]
+fn matmul_kernel_serial(lhs: &[f32], rhs: &[f32], dst: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for p in 0..k {
             let a = lhs[i * k + p];
-            if a == 0.0 {
-                continue;
-            }
             let rrow = &rhs[p * n..(p + 1) * n];
             let drow = &mut dst[i * n..(i + 1) * n];
             for j in 0..n {
                 drow[j] += a * rrow[j];
             }
         }
+    }
+}
+
+/// One row slab of the blocked kernel: `MR x NR` register micro-tiles with
+/// a `k`-inner loop, walking the right-hand side in `JC`-column panels.
+///
+/// Per output element the `k` products accumulate in ascending order from
+/// a `+0.0` accumulator, matching [`matmul_kernel_serial`] bit-for-bit
+/// (adding the finished accumulator to the zero-initialized `dst` cannot
+/// change its bits: the accumulator is never `-0.0` because it starts at
+/// `+0.0`).
+fn matmul_block(lhs: &[f32], rhs: &[f32], dst: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + JC).min(n);
+        let mut i = 0;
+        while i + MR <= m {
+            let lrows: [&[f32]; MR] = std::array::from_fn(|r| &lhs[(i + r) * k..(i + r + 1) * k]);
+            let mut j = j0;
+            while j + NR <= j1 {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let brow = &rhs[p * n + j..p * n + j + NR];
+                    for r in 0..MR {
+                        let a = lrows[r][p];
+                        let accr = &mut acc[r];
+                        for c in 0..NR {
+                            accr[c] += a * brow[c];
+                        }
+                    }
+                }
+                for r in 0..MR {
+                    let drow = &mut dst[(i + r) * n + j..(i + r) * n + j + NR];
+                    for c in 0..NR {
+                        drow[c] += acc[r][c];
+                    }
+                }
+                j += NR;
+            }
+            // Column remainder of the panel (fewer than NR columns).
+            for r in 0..MR {
+                let row = lrows[r];
+                for jj in j..j1 {
+                    let mut acc = 0.0f32;
+                    for (p, &a) in row.iter().enumerate() {
+                        acc += a * rhs[p * n + jj];
+                    }
+                    dst[(i + r) * n + jj] += acc;
+                }
+            }
+            i += MR;
+        }
+        // Row remainder (fewer than MR rows): i-k-j sweep over the panel.
+        for ir in i..m {
+            let row = &lhs[ir * k..(ir + 1) * k];
+            for (p, &a) in row.iter().enumerate() {
+                let rrow = &rhs[p * n + j0..p * n + j1];
+                let drow = &mut dst[ir * n + j0..ir * n + j1];
+                for (d, &b) in drow.iter_mut().zip(rrow) {
+                    *d += a * b;
+                }
+            }
+        }
+        j0 = j1;
     }
 }
 
@@ -566,6 +702,103 @@ mod tests {
         assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
         let b3 = Tensor::zeros(&[2, 2, 3]);
         assert!(b3.matmul(&Tensor::zeros(&[3, 3, 3])).is_err());
+    }
+
+    /// Regression test for the historical zero-skip bug: `matmul_kernel`
+    /// used to skip the inner loop when a left-hand element was `0.0`,
+    /// so `0 x inf` and `0 x NaN` produced `0` instead of `NaN`.
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_rows() {
+        // Row of zeros against a NaN column: every affected output must
+        // be NaN, not silently 0.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 1.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(
+            c.get(&[0, 0]).unwrap().is_nan(),
+            "0 * NaN must propagate NaN, got {}",
+            c.get(&[0, 0]).unwrap()
+        );
+        assert!(c.get(&[1, 0]).unwrap().is_nan());
+
+        // Zero against +inf is NaN per IEEE 754.
+        let inf = Tensor::from_vec(vec![f32::INFINITY, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let d = a.matmul(&inf).unwrap();
+        assert!(d.get(&[0, 0]).unwrap().is_nan(), "0 * inf must be NaN");
+
+        // The batched path shares the kernel.
+        let ab = Tensor::from_vec(vec![0.0; 8], &[2, 2, 2]).unwrap();
+        let bb = Tensor::from_vec(vec![f32::NAN; 8], &[2, 2, 2]).unwrap();
+        let cb = ab.matmul(&bb).unwrap();
+        assert!(cb.as_slice().iter().all(|v| v.is_nan()));
+    }
+
+    /// The blocked/parallel kernel must agree bit-for-bit with the naive
+    /// serial reference across odd shapes (micro-tile remainders in both
+    /// extents, panel boundaries) and thread counts 1, 2 and > rows.
+    #[test]
+    fn matmul_blocked_matches_serial_reference_bit_for_bit() {
+        use crate::parallel::with_threads;
+        let shapes: &[(usize, usize, usize)] = &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (13, 1, 13),
+            (17, 23, 131), // crosses the JC=128 panel boundary
+            (33, 16, 9),
+            (67, 33, 65),  // medium: blocked serial, below the split
+            (513, 65, 33), // > PAR_FLOPS_PER_WORKER x 4: slab split engages
+        ];
+        for &(m, k, n) in shapes {
+            // Deterministic pseudo-random fill without pulling in rand.
+            let fill = |len: usize, salt: u32| -> Vec<f32> {
+                (0..len)
+                    .map(|i| {
+                        let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                        (h % 2000) as f32 / 1000.0 - 1.0
+                    })
+                    .collect()
+            };
+            let lhs = fill(m * k, 1);
+            let rhs = fill(k * n, 2);
+            let mut reference = vec![0.0f32; m * n];
+            matmul_kernel_serial(&lhs, &rhs, &mut reference, m, k, n);
+            for threads in [1usize, 2, m + 3] {
+                let mut got = vec![0.0f32; m * n];
+                with_threads(threads, || {
+                    matmul_kernel(&lhs, &rhs, &mut got, m, k, n);
+                });
+                assert_eq!(
+                    got, reference,
+                    "{m}x{k}x{n} at {threads} threads diverged from serial"
+                );
+            }
+        }
+    }
+
+    /// The batch-split (3,3) parallel path must match the serial
+    /// per-batch loop bit-for-bit.
+    #[test]
+    fn matmul_batched_parallel_matches_serial_bit_for_bit() {
+        use crate::parallel::with_threads;
+        let (b, m, k, n) = (6usize, 32usize, 32usize, 32usize); // 2 workers' worth
+        let fill = |len: usize, salt: u32| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                    (h % 2000) as f32 / 1000.0 - 1.0
+                })
+                .collect()
+        };
+        let lhs = Tensor::from_vec(fill(b * m * k, 3), &[b, m, k]).unwrap();
+        let rhs = Tensor::from_vec(fill(b * k * n, 4), &[b, k, n]).unwrap();
+        let reference = with_threads(1, || lhs.matmul(&rhs).unwrap());
+        for threads in [2usize, 4, b + 7] {
+            let got = with_threads(threads, || lhs.matmul(&rhs).unwrap());
+            assert_eq!(got.as_slice(), reference.as_slice(), "{threads} threads");
+        }
     }
 
     #[test]

@@ -34,11 +34,6 @@ type PreludeSurface = (
     Video,
 );
 
-/// The deprecated shim must stay importable (and distinct from the new
-/// engine) for one release.
-#[allow(dead_code, deprecated)]
-type DeprecatedSurface = SnapPixSystem;
-
 #[test]
 fn quickstart_path_runs_on_a_tiny_clip() {
     let start = std::time::Instant::now();
