@@ -1,0 +1,114 @@
+//! Criterion macrobench: the `snappix-serve` dynamic-batching server vs
+//! a per-client serial loop — the acceptance measurement for the serving
+//! subsystem (numbers recorded in BENCHMARKS.md).
+//!
+//! Both sides classify the same `CLIENTS x PER_CLIENT` workload of
+//! `16x16` clips (the paper's edge scale):
+//!
+//! * `serve/per_client_serial_loop` is the no-serving-layer baseline —
+//!   requests are served one `infer_clip` at a time in arrival order,
+//!   the way a naive node would loop over its clients.
+//! * `serve/dynamic_batching` stands up a `Server` (one worker replica,
+//!   so the comparison isolates *batching* from replica parallelism),
+//!   hammers it from `CLIENTS` real client threads, and waits out every
+//!   ticket. The win comes from coalescing concurrent requests into
+//!   shared forward passes, amortizing per-call graph construction and
+//!   tensor allocation exactly as the PR 2 pipeline bench predicts for
+//!   batch 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_serve::prelude::*;
+
+const T: usize = 16;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 8;
+
+fn model() -> SnapPixAr {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mask = patterns::random(T, (8, 8), 0.5, &mut rng).expect("valid dims");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("geometry")
+}
+
+fn clips() -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(0);
+    (0..CLIENTS * PER_CLIENT)
+        .map(|_| Tensor::rand_uniform(&mut rng, &[T, HW, HW], 0.0, 1.0))
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let clips = clips();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(30);
+
+    // Baseline: the pre-serve world — clients' clips handled one at a
+    // time by a single engine.
+    let mut serial = Pipeline::builder(model()).build().expect("assembly");
+    group.bench_function(
+        format!("per_client_serial_loop{}x{PER_CLIENT}_{HW}x{HW}", CLIENTS),
+        |b| {
+            b.iter(|| {
+                clips
+                    .iter()
+                    .map(|clip| serial.infer_clip(clip).expect("inference").label)
+                    .collect::<Vec<usize>>()
+            })
+        },
+    );
+
+    // The serving subsystem: concurrent clients, dynamic batching.
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(CLIENTS * PER_CLIENT)
+        // Greedy batching: with every client bursting at once the queue
+        // is never empty, so batches form without any added delay.
+        .with_batch_policy(BatchPolicy::greedy(8))
+        .build()
+        .expect("server assembly");
+    group.bench_function(
+        format!("dynamic_batching{}x{PER_CLIENT}_{HW}x{HW}", CLIENTS),
+        |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..CLIENTS)
+                        .map(|client| {
+                            let server = &server;
+                            let clips = &clips;
+                            scope.spawn(move || {
+                                (0..PER_CLIENT)
+                                    .map(|i| {
+                                        server
+                                            .submit(&clips[client * PER_CLIENT + i])
+                                            .expect("admission")
+                                            .wait()
+                                            .expect("prediction")
+                                            .label
+                                    })
+                                    .collect::<Vec<usize>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("client"))
+                        .collect::<Vec<usize>>()
+                })
+            })
+        },
+    );
+    group.finish();
+
+    let stats = server.shutdown();
+    eprintln!(
+        "serve bench telemetry: mean batch size {:.2} over {} batches",
+        stats.mean_batch_size(),
+        stats.batches
+    );
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,313 @@
+//! The bounded admission queue feeding the worker pool, with the
+//! dynamic-batching pop at its heart.
+//!
+//! One `SharedQueue` sits between every client thread and every worker:
+//! clients push individual requests (failing fast with
+//! [`ServeError::Overloaded`] when the bound is hit), workers pop
+//! *batches* — taking what is queued up to the policy's `max_batch` and
+//! holding a partial batch open up to `max_delay` for late arrivals.
+//! Everything is plain `std` (`Mutex` + two `Condvar`s), matching the
+//! workspace's zero-dependency rule.
+
+use crate::{BatchPolicy, ServeError};
+use snappix::Prediction;
+use snappix_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// One queued unit of work: the clip, its timing metadata, and the
+/// channel its [`Prediction`] (or error) travels back on.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// The `[t, h, w]` clip to classify (validated at submission).
+    pub clip: Tensor,
+    /// When the request was admitted — the start of its queue latency.
+    pub enqueued: Instant,
+    /// Expire the request instead of running it past this instant.
+    pub deadline: Option<Instant>,
+    /// Where the answer goes. A dropped receiver is fine: the send
+    /// fails silently and the work is simply discarded.
+    pub reply: Sender<Result<Prediction, ServeError>>,
+}
+
+impl Request {
+    /// Whether the request's deadline (if any) has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+
+    /// Answers the request, ignoring clients that stopped listening.
+    pub fn answer(self, result: Result<Prediction, ServeError>) {
+        let _ = self.reply.send(result);
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<Request>,
+    shutting_down: bool,
+}
+
+/// The bounded MPMC queue between clients and workers.
+#[derive(Debug)]
+pub(crate) struct SharedQueue {
+    state: Mutex<State>,
+    /// Signals workers that requests (or shutdown) arrived.
+    not_empty: Condvar,
+    /// Signals blocked submitters that capacity (or shutdown) arrived.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+fn relock<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A worker that panicked mid-batch must not wedge every client: the
+    // queue state itself is always left consistent (pushes and drains
+    // are atomic under the lock), so recover the guard.
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedQueue {
+    /// A queue admitting at most `capacity` requests (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SharedQueue {
+            state: Mutex::new(State::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued (excludes batches already claimed by
+    /// workers).
+    pub fn depth(&self) -> usize {
+        relock(self.state.lock()).queue.len()
+    }
+
+    /// Admits `request` without blocking, shedding load when full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once shutdown began.
+    pub fn try_push(&self, request: Request) -> Result<(), ServeError> {
+        let mut state = relock(self.state.lock());
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        state.queue.push_back(request);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Admits `request`, blocking until the queue has room — the
+    /// cooperative client API (backpressure propagates to the caller
+    /// instead of an error).
+    ///
+    /// The request's `enqueued` stamp is reset at actual admission, so
+    /// queue-latency telemetry measures time *in the queue*, not time
+    /// blocked at the door waiting for a slot (the request's deadline,
+    /// fixed at submission, is unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] once shutdown began (including while
+    /// blocked waiting for room).
+    pub fn push_blocking(&self, mut request: Request) -> Result<(), ServeError> {
+        let mut state = relock(self.state.lock());
+        while state.queue.len() >= self.capacity && !state.shutting_down {
+            state = relock(self.not_full.wait(state));
+        }
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        request.enqueued = Instant::now();
+        state.queue.push_back(request);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Claims the next batch of work for a worker: blocks until at least
+    /// one request is queued, then keeps the batch open up to
+    /// `policy.max_delay` (or until `policy.max_batch` requests are
+    /// waiting), and drains it atomically.
+    ///
+    /// Returns `None` exactly once the queue is shut down *and* drained —
+    /// the worker's signal to exit. A shutdown mid-wait flushes partial
+    /// batches immediately instead of sleeping out the delay, so
+    /// shutdown latency is one in-flight batch, not `max_delay`.
+    ///
+    /// The returned batch may contain requests whose deadline has
+    /// already passed; the worker expires them (it owns the stats).
+    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<Vec<Request>> {
+        let mut state = relock(self.state.lock());
+        loop {
+            // Phase 1: wait for any work at all.
+            while state.queue.is_empty() {
+                if state.shutting_down {
+                    return None;
+                }
+                state = relock(self.not_empty.wait(state));
+            }
+            // Phase 2: hold the batch open for late arrivals.
+            let opened = Instant::now();
+            while state.queue.len() < policy.max_batch && !state.shutting_down {
+                let Some(remaining) = policy.max_delay.checked_sub(opened.elapsed()) else {
+                    break;
+                };
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            // Phase 3: drain. Another worker may have raced us to the
+            // requests while we held the batch open — then go back to
+            // waiting rather than returning an empty batch.
+            let take = state.queue.len().min(policy.max_batch);
+            if take == 0 {
+                continue;
+            }
+            let batch: Vec<Request> = state.queue.drain(..take).collect();
+            self.not_full.notify_all();
+            return Some(batch);
+        }
+    }
+
+    /// Begins shutdown: no new admissions, blocked submitters fail with
+    /// [`ServeError::ShuttingDown`], and workers exit once the queue is
+    /// drained.
+    pub fn shutdown(&self) {
+        relock(self.state.lock()).shutting_down = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn request() -> (
+        Request,
+        std::sync::mpsc::Receiver<Result<Prediction, ServeError>>,
+    ) {
+        let (tx, rx) = channel();
+        (
+            Request {
+                clip: Tensor::zeros(&[2, 4, 4]),
+                enqueued: Instant::now(),
+                deadline: None,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn try_push_sheds_load_at_capacity() {
+        let q = SharedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        let (a, _ra) = request();
+        let (b, _rb) = request();
+        let (c, _rc) = request();
+        q.try_push(a).unwrap();
+        q.try_push(b).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(
+            q.try_push(c).unwrap_err(),
+            ServeError::Overloaded { capacity: 2 }
+        );
+    }
+
+    #[test]
+    fn pop_batch_coalesces_what_is_queued() {
+        let q = SharedQueue::new(8);
+        let mut receivers = Vec::new();
+        for _ in 0..5 {
+            let (r, rx) = request();
+            q.try_push(r).unwrap();
+            receivers.push(rx);
+        }
+        let policy = BatchPolicy::greedy(4);
+        let batch = q.pop_batch(&policy).expect("work queued");
+        assert_eq!(batch.len(), 4, "capped at max_batch");
+        let rest = q.pop_batch(&policy).expect("one left");
+        assert_eq!(rest.len(), 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_batch_waits_out_the_delay_for_late_arrivals() {
+        let q = std::sync::Arc::new(SharedQueue::new(8));
+        let (first, _r1) = request();
+        q.try_push(first).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                let (late, rx) = request();
+                q.try_push(late).unwrap();
+                rx
+            })
+        };
+        let policy = BatchPolicy::new(2, Duration::from_millis(500));
+        let batch = q.pop_batch(&policy).expect("work queued");
+        assert_eq!(batch.len(), 2, "the late request joined the batch");
+        let _rx = producer.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_then_stops_workers_and_rejects_clients() {
+        let q = SharedQueue::new(4);
+        let (queued, _rq) = request();
+        q.try_push(queued).unwrap();
+        q.shutdown();
+        let (rejected, _rr) = request();
+        assert_eq!(q.try_push(rejected).unwrap_err(), ServeError::ShuttingDown);
+        let (blocked, _rb) = request();
+        assert_eq!(
+            q.push_blocking(blocked).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        // The queued request still comes out (drain-before-exit), and a
+        // shutdown pop doesn't sleep out the batching delay.
+        let policy = BatchPolicy::new(8, Duration::from_secs(30));
+        let started = Instant::now();
+        let batch = q.pop_batch(&policy).expect("drain pending work");
+        assert_eq!(batch.len(), 1);
+        assert!(started.elapsed() < Duration::from_secs(5), "no delay sleep");
+        assert!(q.pop_batch(&policy).is_none(), "then workers exit");
+    }
+
+    #[test]
+    fn expiry_and_answers_flow_through_requests() {
+        let (mut r, rx) = request();
+        assert!(!r.expired(Instant::now()));
+        r.deadline = Some(Instant::now() - Duration::from_millis(1));
+        assert!(r.expired(Instant::now()));
+        r.answer(Err(ServeError::Disconnected));
+        assert_eq!(rx.recv().unwrap(), Err(ServeError::Disconnected));
+    }
+}

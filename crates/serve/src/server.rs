@@ -1,0 +1,476 @@
+//! The serving engine: worker replicas around a central dynamic batcher.
+
+use crate::queue::{Request, SharedQueue};
+use crate::stats::Recorder;
+use crate::{BatchPolicy, ServeError, ServerStats, Ticket};
+use snappix::prelude::ActionModel;
+use snappix::{Error, Pipeline, PipelineBuilder};
+use snappix_ce::{AlgorithmicEncoder, Sense};
+use snappix_tensor::{parallel, Tensor};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Staged construction of a [`Server`], created by [`Server::builder`].
+///
+/// The builder owns a [`PipelineBuilder`] *recipe* and stamps one
+/// pipeline replica out of it per worker
+/// (via [`PipelineBuilder::build_replicas`]), so every worker thread
+/// serves from its own copy of the weights with no shared mutable state.
+#[derive(Debug, Clone)]
+pub struct ServerBuilder<S: Sense = AlgorithmicEncoder> {
+    recipe: PipelineBuilder<S>,
+    workers: usize,
+    queue_depth: usize,
+    policy: BatchPolicy,
+    worker_threads: Option<usize>,
+}
+
+impl<S: Sense> ServerBuilder<S> {
+    /// Sets the number of worker threads, each owning one pipeline
+    /// replica (clamped to at least 1).
+    ///
+    /// Defaults to the ambient worker count
+    /// ([`parallel::default_threads`]) — one replica per core. Each
+    /// replica is a full copy of the model weights; scale this down on
+    /// memory-tight nodes.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bounds the admission queue (clamped to at least 1): once this
+    /// many requests are waiting, [`Server::try_submit`] sheds load with
+    /// [`ServeError::Overloaded`] and [`Server::submit`] blocks.
+    /// Defaults to 64.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the dynamic batching policy (see [`BatchPolicy`]).
+    #[must_use]
+    pub fn with_batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Pins the data-parallel worker count *inside* each replica,
+    /// applied to every replica through the same
+    /// [`PipelineBuilder::with_threads`] scoping the rest of the
+    /// workspace uses.
+    ///
+    /// Defaults to `ambient_threads / workers` (at least 1), so the
+    /// server as a whole never oversubscribes the machine: N serving
+    /// workers times the per-replica budget stays within the
+    /// `SNAPPIX_THREADS` / core budget. This (explicit or derived)
+    /// budget overrides any `with_threads` already set on the recipe.
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Assembles the server: validates the pipeline recipe, stamps out
+    /// one replica per worker, and starts the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PipelineBuilder::build`] validation error (mask or
+    /// normalization mismatch), or [`Error::Pipeline`] when worker
+    /// threads cannot be spawned.
+    pub fn build(self) -> Result<Server, Error>
+    where
+        S: Clone + Send + 'static,
+        Error: From<S::Error>,
+    {
+        let workers = self.workers;
+        let per_replica = self
+            .worker_threads
+            .unwrap_or_else(|| (parallel::default_threads() / workers).max(1));
+        let replicas = self
+            .recipe
+            .with_threads(per_replica)
+            .build_replicas(workers)?;
+
+        let model = replicas[0].model();
+        let cfg = model.encoder().config();
+        let expected_clip = [model.mask().num_slots(), cfg.height, cfg.width];
+        let num_classes = model.num_classes();
+
+        let queue = Arc::new(SharedQueue::new(self.queue_depth));
+        let recorder = Arc::new(Recorder::new());
+        let mut handles = Vec::with_capacity(workers);
+        for (i, replica) in replicas.into_iter().enumerate() {
+            let worker_queue = Arc::clone(&queue);
+            let worker_recorder = Arc::clone(&recorder);
+            let policy = self.policy;
+            let spawned = std::thread::Builder::new()
+                .name(format!("snappix-serve-{i}"))
+                .spawn(move || run_worker(replica, &worker_queue, &worker_recorder, policy));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool before reporting.
+                    queue.shutdown();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(Error::Pipeline {
+                        context: format!("failed to spawn serving worker {i}: {e}"),
+                    });
+                }
+            }
+        }
+        Ok(Server {
+            queue,
+            recorder,
+            handles,
+            expected_clip,
+            num_classes,
+            policy: self.policy,
+            worker_threads: per_replica,
+        })
+    }
+}
+
+/// A multi-client serving engine over [`Pipeline`] replicas.
+///
+/// N worker threads each own a private replica of the pipeline (same
+/// weights, same backend configuration); a central dynamic batcher
+/// coalesces concurrent client requests into one `[batch, t, h, w]`
+/// tensor per forward pass under a [`BatchPolicy`]; and a bounded
+/// admission queue turns overload into an explicit
+/// [`ServeError::Overloaded`] instead of unbounded memory growth.
+/// With a deterministic backend (the algorithmic encoder, or a
+/// hardware sensor with a noiseless readout) results are *identical*
+/// to running each clip through a serial pipeline — batching and
+/// replication change the schedule, never the numbers (pinned by the
+/// workspace integration tests). A *noisy* readout is stateful: each
+/// replica draws from its own RNG stream, so which noise realization a
+/// clip receives depends on scheduling — exactly as it would across
+/// physical sensors.
+///
+/// All client methods take `&self`, so one `Server` can be shared across
+/// client threads directly (e.g. via [`std::thread::scope`]) or behind
+/// an [`Arc`].
+///
+/// Dropping the server shuts it down gracefully: no new admissions,
+/// queued work is drained, workers are joined.
+///
+/// # Examples
+///
+/// ```no_run
+/// use snappix::prelude::*;
+/// use snappix_serve::Server;
+///
+/// # fn main() -> Result<(), snappix::Error> {
+/// let mask = patterns::long_exposure(8, (8, 8))?;
+/// let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask)?;
+/// let server = Server::builder(Pipeline::builder(model))
+///     .with_workers(2)
+///     .build()?;
+/// let ticket = server
+///     .submit(&Tensor::zeros(&[8, 16, 16]))
+///     .map_err(snappix::Error::from)?;
+/// let prediction = ticket.wait().map_err(snappix::Error::from)?;
+/// println!("class {} — {}", prediction.label, server.stats());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    queue: Arc<SharedQueue>,
+    recorder: Arc<Recorder>,
+    handles: Vec<JoinHandle<()>>,
+    expected_clip: [usize; 3],
+    num_classes: usize,
+    policy: BatchPolicy,
+    worker_threads: usize,
+}
+
+impl Server {
+    /// Starts building a server around a pipeline recipe; see
+    /// [`ServerBuilder`] for the knobs and their defaults.
+    pub fn builder<S: Sense>(recipe: PipelineBuilder<S>) -> ServerBuilder<S> {
+        ServerBuilder {
+            recipe,
+            workers: parallel::default_threads(),
+            queue_depth: 64,
+            policy: BatchPolicy::default(),
+            worker_threads: None,
+        }
+    }
+
+    /// Number of worker threads (= pipeline replicas).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The data-parallel thread budget each replica runs under.
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// The admission bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Requests waiting in the admission queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The dynamic batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of output classes of the served model.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `[t, h, w]` clip geometry this server accepts.
+    pub fn expected_clip(&self) -> [usize; 3] {
+        self.expected_clip
+    }
+
+    /// A point-in-time telemetry snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.recorder.snapshot(self.queue.depth())
+    }
+
+    /// Submits a clip without blocking, shedding load when the queue is
+    /// full — the building block for callers that implement their own
+    /// retry/backoff (or return 503s).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadClip`] for a geometry mismatch,
+    /// [`ServeError::Overloaded`] at capacity,
+    /// [`ServeError::ShuttingDown`] during shutdown.
+    pub fn try_submit(&self, clip: &Tensor) -> Result<Ticket, ServeError> {
+        self.admit(clip, None, false)
+    }
+
+    /// Like [`try_submit`](Self::try_submit), but the request expires
+    /// (with [`ServeError::DeadlineExpired`] on its [`Ticket`]) if it is
+    /// still queued `deadline` from now — stale work is shed instead of
+    /// served late.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_submit`](Self::try_submit).
+    pub fn try_submit_within(
+        &self,
+        clip: &Tensor,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.admit(clip, Some(deadline), false)
+    }
+
+    /// Submits a clip, blocking until the queue has room — backpressure
+    /// propagates to the caller as waiting, never as unbounded queueing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadClip`] for a geometry mismatch,
+    /// [`ServeError::ShuttingDown`] during shutdown.
+    pub fn submit(&self, clip: &Tensor) -> Result<Ticket, ServeError> {
+        self.admit(clip, None, true)
+    }
+
+    /// Like [`submit`](Self::submit) with a per-request deadline; the
+    /// deadline clock starts when the call is made — time spent blocked
+    /// waiting for queue room counts against the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn submit_within(&self, clip: &Tensor, deadline: Duration) -> Result<Ticket, ServeError> {
+        self.admit(clip, Some(deadline), true)
+    }
+
+    /// Submits one clip and blocks for its [`Prediction`](snappix::Prediction) —
+    /// the one-call client API mirroring [`Pipeline::infer_clip`].
+    ///
+    /// # Errors
+    ///
+    /// Any admission or execution failure; see [`ServeError`].
+    pub fn infer_clip(&self, clip: &Tensor) -> Result<snappix::Prediction, ServeError> {
+        self.submit(clip)?.wait()
+    }
+
+    /// Submits one clip and blocks for its class label.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer_clip`](Self::infer_clip).
+    pub fn classify(&self, clip: &Tensor) -> Result<usize, ServeError> {
+        Ok(self.infer_clip(clip)?.label)
+    }
+
+    /// Shuts the server down gracefully — stops admissions, serves what
+    /// is queued, joins the workers — and returns the final telemetry.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.recorder.snapshot(0)
+    }
+
+    fn admit(
+        &self,
+        clip: &Tensor,
+        deadline: Option<Duration>,
+        block: bool,
+    ) -> Result<Ticket, ServeError> {
+        if clip.shape() != self.expected_clip {
+            return Err(ServeError::BadClip {
+                context: format!(
+                    "expected a [t, h, w] = {:?} clip, got {:?}",
+                    self.expected_clip,
+                    clip.shape()
+                ),
+            });
+        }
+        let (reply, receiver) = channel();
+        let enqueued = Instant::now();
+        let request = Request {
+            clip: clip.clone(),
+            enqueued,
+            deadline: deadline.and_then(|d| enqueued.checked_add(d)),
+            reply,
+        };
+        // Shed-path fast exit: under sustained overload there is no
+        // point deep-cloning the clip and building a channel only for
+        // try_push to reject it. The check is racy (capacity may free
+        // up before the authoritative check under the queue lock), but
+        // a stale rejection under overload is exactly what shedding
+        // means.
+        if !block && self.queue.depth() >= self.queue.capacity() {
+            self.recorder.record_rejected();
+            return Err(ServeError::Overloaded {
+                capacity: self.queue.capacity(),
+            });
+        }
+        // Count the admission *before* publishing the request: once it
+        // is in the queue a worker may complete it at any moment, and a
+        // completion must never be observable ahead of its submission
+        // (the conserved-accounting invariant on `ServerStats`). A
+        // rejected push compensates below.
+        self.recorder.record_admitted();
+        let admitted = if block {
+            self.queue.push_blocking(request)
+        } else {
+            self.queue.try_push(request)
+        };
+        match admitted {
+            Ok(()) => Ok(Ticket::new(receiver)),
+            Err(e) => {
+                self.recorder.record_unadmitted();
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    self.recorder.record_rejected();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn stop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.queue.shutdown();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already failed its in-flight batch
+            // (clients observe `Disconnected`); the others still drain.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One worker: claim a batch, expire stale requests, run the rest
+/// through the private replica in a single forward pass, fan the
+/// per-clip predictions back out.
+fn run_worker<S>(
+    mut pipeline: Pipeline<S>,
+    queue: &SharedQueue,
+    recorder: &Recorder,
+    policy: BatchPolicy,
+) where
+    S: Sense,
+    Error: From<S::Error>,
+{
+    while let Some(batch) = queue.pop_batch(&policy) {
+        let claimed = Instant::now();
+        let queue_latencies: Vec<Duration> = batch
+            .iter()
+            .map(|r| claimed.duration_since(r.enqueued))
+            .collect();
+        let (expired, live): (Vec<Request>, Vec<Request>) =
+            batch.into_iter().partition(|r| r.expired(claimed));
+        let expired_count = expired.len() as u64;
+        for request in expired {
+            let waited = claimed.duration_since(request.enqueued);
+            request.answer(Err(ServeError::DeadlineExpired { waited }));
+        }
+        if live.is_empty() {
+            recorder.record_batch(&queue_latencies, expired_count, 0, None);
+            continue;
+        }
+
+        let started = Instant::now();
+        let clips: Vec<&Tensor> = live.iter().map(|r| &r.clip).collect();
+        let result = Tensor::stack(&clips, 0)
+            .map_err(Error::Tensor)
+            .and_then(|stacked| pipeline.infer(&stacked));
+        match result {
+            // Guarded so a prediction-count regression in the pipeline
+            // fails every rider loudly instead of `zip` silently
+            // dropping the tail (which would break the conserved
+            // accounting and strand clients on `Disconnected`).
+            Ok(inference) if inference.len() == live.len() => {
+                let compute = started.elapsed();
+                let executed = live.len();
+                for (request, prediction) in live.into_iter().zip(inference) {
+                    request.answer(Ok(prediction));
+                }
+                recorder.record_batch(&queue_latencies, expired_count, executed, Some(compute));
+            }
+            Ok(inference) => {
+                let message = format!(
+                    "pipeline returned {} predictions for a batch of {} clips",
+                    inference.len(),
+                    live.len()
+                );
+                let executed = live.len();
+                for request in live {
+                    request.answer(Err(ServeError::Inference {
+                        message: message.clone(),
+                    }));
+                }
+                recorder.record_batch(&queue_latencies, expired_count, executed, None);
+            }
+            Err(e) => {
+                let message = e.to_string();
+                let executed = live.len();
+                for request in live {
+                    request.answer(Err(ServeError::Inference {
+                        message: message.clone(),
+                    }));
+                }
+                recorder.record_batch(&queue_latencies, expired_count, executed, None);
+            }
+        }
+    }
+}

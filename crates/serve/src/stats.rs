@@ -1,0 +1,354 @@
+//! Serving telemetry: counters, a batch-size histogram, and latency
+//! percentiles, snapshotted as [`ServerStats`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How many of the most recent latency samples percentile summaries are
+/// computed over. Bounded so a long-lived server's telemetry memory is
+/// constant; the counters remain all-time.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Order statistics over a latency stream.
+///
+/// Percentiles are nearest-rank over the most recent 4096 samples (a
+/// sliding window, so they track the server's *current* behaviour);
+/// `samples` counts the whole stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// All-time number of samples recorded.
+    pub samples: u64,
+    /// Median latency over the window.
+    pub p50: Duration,
+    /// 95th-percentile latency over the window.
+    pub p95: Duration,
+    /// 99th-percentile latency over the window.
+    pub p99: Duration,
+    /// Maximum latency over the window.
+    pub max: Duration,
+}
+
+/// A point-in-time snapshot of a [`Server`](crate::Server)'s telemetry,
+/// from [`Server::stats`](crate::Server::stats).
+///
+/// Request accounting is conserved: every admitted request ends up in
+/// exactly one of `completed`, `expired` or `failed`, and
+/// `submitted = completed + expired + failed + in-flight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue (all-time).
+    pub submitted: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Submissions shed with `Overloaded` (never admitted; not part of
+    /// `submitted`).
+    pub rejected: u64,
+    /// Admitted requests expired at their deadline instead of being run.
+    pub expired: u64,
+    /// Admitted requests that rode in a batch whose inference failed.
+    pub failed: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Histogram of executed batch sizes: `batch_sizes[k]` counts the
+    /// batches that ran exactly `k` clips (index 0 is never used).
+    pub batch_sizes: Vec<u64>,
+    /// Requests sitting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Time requests spent queued before their batch was claimed.
+    pub queue_latency: LatencySummary,
+    /// Time batches spent in `Pipeline::infer`.
+    pub compute_latency: LatencySummary,
+}
+
+impl ServerStats {
+    /// Completed requests per second of uptime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Mean clips per executed batch — the direct measure of how much
+    /// the dynamic batcher is coalescing.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        let clips: u64 = self
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        clips as f64 / self.batches as f64
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} of {} requests in {:.2?} ({:.1} clips/s; {} shed, {} expired, {} failed)",
+            self.completed,
+            self.submitted,
+            self.uptime,
+            self.throughput(),
+            self.rejected,
+            self.expired,
+            self.failed,
+        )?;
+        writeln!(
+            f,
+            "batches: {} executed, mean size {:.2}, queue depth {}",
+            self.batches,
+            self.mean_batch_size(),
+            self.queue_depth,
+        )?;
+        writeln!(
+            f,
+            "queue latency:   p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?}",
+            self.queue_latency.p50,
+            self.queue_latency.p95,
+            self.queue_latency.p99,
+            self.queue_latency.max,
+        )?;
+        write!(
+            f,
+            "compute latency: p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?}",
+            self.compute_latency.p50,
+            self.compute_latency.p95,
+            self.compute_latency.p99,
+            self.compute_latency.max,
+        )
+    }
+}
+
+/// A bounded sliding window of latency samples.
+#[derive(Debug, Clone, Default)]
+struct Window {
+    recent: VecDeque<Duration>,
+    seen: u64,
+}
+
+impl Window {
+    fn record(&mut self, sample: Duration) {
+        if self.recent.len() == LATENCY_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(sample);
+        self.seen += 1;
+    }
+
+    fn summarize(&self) -> LatencySummary {
+        if self.recent.is_empty() {
+            return LatencySummary {
+                samples: self.seen,
+                ..LatencySummary::default()
+            };
+        }
+        let mut sorted: Vec<Duration> = self.recent.iter().copied().collect();
+        sorted.sort_unstable();
+        let nearest_rank = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            samples: self.seen,
+            p50: nearest_rank(50.0),
+            p95: nearest_rank(95.0),
+            p99: nearest_rank(99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    expired: u64,
+    failed: u64,
+    batches: u64,
+    batch_sizes: Vec<u64>,
+    queue_latency: Window,
+    compute_latency: Window,
+}
+
+/// The shared, internally-locked recorder workers and the submission
+/// path write into. Snapshotting never blocks the hot path for long:
+/// every write is a counter bump or a ring-buffer push.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    started: Instant,
+    counters: Mutex<Counters>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder {
+            started: Instant::now(),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn record_admitted(&self) {
+        self.lock().submitted += 1;
+    }
+
+    /// Undoes a [`record_admitted`](Self::record_admitted) whose push
+    /// was then rejected. Admissions are counted *before* the request
+    /// is published to the queue (so a racing worker can never complete
+    /// an uncounted request); a failed push compensates here.
+    pub fn record_unadmitted(&self) {
+        let mut c = self.lock();
+        c.submitted = c.submitted.saturating_sub(1);
+    }
+
+    pub fn record_rejected(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// Records one claimed batch: per-request queue latencies, the
+    /// expiry count, and (when any requests remain) the executed batch
+    /// size with its compute time.
+    pub fn record_batch(
+        &self,
+        queue_latencies: &[Duration],
+        expired: u64,
+        executed: usize,
+        compute: Option<Duration>,
+    ) {
+        let mut c = self.lock();
+        for &l in queue_latencies {
+            c.queue_latency.record(l);
+        }
+        c.expired += expired;
+        if executed > 0 {
+            c.batches += 1;
+            if c.batch_sizes.len() <= executed {
+                c.batch_sizes.resize(executed + 1, 0);
+            }
+            c.batch_sizes[executed] += 1;
+            if let Some(compute) = compute {
+                c.compute_latency.record(compute);
+                c.completed += executed as u64;
+            } else {
+                c.failed += executed as u64;
+            }
+        }
+    }
+
+    pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
+        // Copy everything out under the lock, then do the O(n log n)
+        // percentile sorts *after* releasing it — a telemetry poller
+        // must not stall submissions and workers for the sort.
+        let (mut stats, queue_window, compute_window) = {
+            let c = self.lock();
+            (
+                ServerStats {
+                    submitted: c.submitted,
+                    completed: c.completed,
+                    rejected: c.rejected,
+                    expired: c.expired,
+                    failed: c.failed,
+                    batches: c.batches,
+                    batch_sizes: c.batch_sizes.clone(),
+                    queue_depth,
+                    uptime: self.started.elapsed(),
+                    queue_latency: LatencySummary::default(),
+                    compute_latency: LatencySummary::default(),
+                },
+                c.queue_latency.clone(),
+                c.compute_latency.clone(),
+            )
+        };
+        stats.queue_latency = queue_window.summarize();
+        stats.compute_latency = compute_window.summarize();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_is_conserved_across_outcomes() {
+        let r = Recorder::new();
+        for _ in 0..10 {
+            r.record_admitted();
+        }
+        // A rejected push compensates its optimistic admission count.
+        r.record_admitted();
+        r.record_unadmitted();
+        r.record_rejected();
+        // Batch of 4: one expired, three ran fine.
+        r.record_batch(
+            &[Duration::from_millis(1); 4],
+            1,
+            3,
+            Some(Duration::from_millis(7)),
+        );
+        // Batch of 2 that failed inference.
+        r.record_batch(&[Duration::from_millis(2); 2], 0, 2, None);
+        // Batch that expired entirely: nothing executed.
+        r.record_batch(&[Duration::from_millis(3)], 1, 0, None);
+        let s = r.snapshot(4);
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.rejected, 1);
+        assert_eq!((s.completed, s.expired, s.failed), (3, 2, 2));
+        assert_eq!(
+            s.completed + s.expired + s.failed + 3,
+            s.submitted,
+            "3 in flight"
+        );
+        assert_eq!(s.batches, 2, "empty batches are not executions");
+        assert_eq!(s.batch_sizes[3], 1);
+        assert_eq!(s.batch_sizes[2], 1);
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.queue_latency.samples, 7);
+        assert_eq!(s.compute_latency.samples, 1);
+        assert!((s.mean_batch_size() - 2.5).abs() < 1e-9);
+        assert!(s.throughput() >= 0.0);
+        let text = s.to_string();
+        assert!(text.contains("batches: 2"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_over_the_window() {
+        let mut w = Window::default();
+        for ms in 1..=100u64 {
+            w.record(Duration::from_millis(ms));
+        }
+        let s = w.summarize();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+
+        // The window slides: after LATENCY_WINDOW more samples at a new
+        // level, the old ones no longer influence the percentiles.
+        for _ in 0..LATENCY_WINDOW {
+            w.record(Duration::from_millis(7));
+        }
+        let slid = w.summarize();
+        assert_eq!(slid.p99, Duration::from_millis(7));
+        assert_eq!(slid.samples, 100 + LATENCY_WINDOW as u64);
+
+        let empty = Window::default().summarize();
+        assert_eq!(empty, LatencySummary::default());
+    }
+}

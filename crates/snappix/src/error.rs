@@ -29,6 +29,15 @@ pub enum Error {
         /// Human-readable description of the problem.
         context: String,
     },
+    /// The serving layer failed (admission rejected, deadline expired,
+    /// batch inference error, ...).
+    ///
+    /// Boxed rather than a concrete type because the serving crate
+    /// (`snappix-serve`) sits *above* this umbrella crate in the
+    /// dependency graph; it provides `From<ServeError> for Error`
+    /// through this variant, and the original error stays reachable via
+    /// [`std::error::Error::source`] / downcasting.
+    Serve(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +50,7 @@ impl fmt::Display for Error {
             Error::Sensor(e) => write!(f, "sensor error: {e}"),
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Pipeline { context } => write!(f, "pipeline error: {context}"),
+            Error::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -55,6 +65,7 @@ impl std::error::Error for Error {
             Error::Sensor(e) => Some(e),
             Error::Model(e) => Some(e),
             Error::Pipeline { .. } => None,
+            Error::Serve(e) => Some(e.as_ref()),
         }
     }
 }
@@ -133,5 +144,13 @@ mod tests {
         };
         assert!(p.to_string().contains("mask mismatch"));
         assert!(std::error::Error::source(&p).is_none());
+
+        // The serving layer converts through the boxed variant, keeping
+        // the original error on the source chain.
+        let s = Error::Serve(Box::new(snappix_tensor::TensorError::InvalidArgument {
+            context: "queue".into(),
+        }));
+        assert!(s.to_string().starts_with("serve error:"));
+        assert!(std::error::Error::source(&s).is_some());
     }
 }

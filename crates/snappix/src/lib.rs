@@ -23,6 +23,13 @@
 //! energy model, [`evaluate_deployment`] combines both, and every failure
 //! across the stack surfaces as the unified [`Error`].
 //!
+//! One layer above this crate, `snappix-serve` turns a single
+//! [`PipelineBuilder`] recipe into a multi-client service: worker
+//! threads each run a pipeline replica (stamped out via
+//! [`PipelineBuilder::build_replicas`]), a dynamic batcher coalesces
+//! concurrent requests into one batched [`Pipeline::infer`] call, and a
+//! bounded admission queue sheds overload explicitly.
+//!
 //! Hot kernels across the workspace (matmul, convolutions, Pearson
 //! statistics, the sensor capture simulation) fan out across the shared
 //! data-parallel layer in [`snappix_tensor::parallel`]: worker count from
@@ -81,7 +88,9 @@ mod report;
 
 pub use error::Error;
 pub use node::EdgeNode;
-pub use pipeline::{Inference, Pipeline, PipelineBuilder, Prediction};
+pub use pipeline::{
+    Inference, IntoPredictions, Pipeline, PipelineBuilder, Prediction, Predictions,
+};
 pub use report::{evaluate_deployment, DeploymentReport};
 
 /// One-stop imports for examples and downstream users.

@@ -46,6 +46,16 @@ pub struct Inference {
 }
 
 impl Inference {
+    /// An inference over zero clips: `[0, num_classes]` logits, no
+    /// labels. This is what [`Pipeline::flush`] returns on an empty
+    /// queue and [`Pipeline::infer`] returns for a `[0, t, h, w]` batch.
+    pub fn empty(num_classes: usize) -> Self {
+        Inference {
+            logits: Tensor::zeros(&[0, num_classes]),
+            labels: Vec::new(),
+        }
+    }
+
     /// Number of clips in this inference.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -69,6 +79,100 @@ impl Inference {
             logits,
         })
     }
+
+    /// Iterates over the clips as standalone [`Prediction`]s, in batch
+    /// order — the loop-friendly face of [`prediction`](Self::prediction)
+    /// (no hand-written indexing, no per-item `Result`).
+    ///
+    /// Each item clones its logits row out of the batched tensor, the
+    /// same cost `prediction(i)` pays.
+    pub fn predictions(&self) -> Predictions<'_> {
+        Predictions {
+            inference: self,
+            next: 0,
+        }
+    }
+}
+
+/// Borrowed iterator over an [`Inference`]'s per-clip [`Prediction`]s.
+///
+/// Created by [`Inference::predictions`] (or `&inference` in a `for`
+/// loop).
+#[derive(Debug, Clone)]
+pub struct Predictions<'a> {
+    inference: &'a Inference,
+    next: usize,
+}
+
+impl Iterator for Predictions<'_> {
+    type Item = Prediction;
+
+    fn next(&mut self) -> Option<Prediction> {
+        if self.next >= self.inference.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        // In range by the check above, so extraction cannot fail.
+        Some(self.inference.prediction(i).expect("index in range"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.inference.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Predictions<'_> {}
+
+impl<'a> IntoIterator for &'a Inference {
+    type Item = Prediction;
+    type IntoIter = Predictions<'a>;
+
+    fn into_iter(self) -> Predictions<'a> {
+        self.predictions()
+    }
+}
+
+/// Owning iterator over an [`Inference`]'s per-clip [`Prediction`]s.
+///
+/// Created by iterating an [`Inference`] by value.
+#[derive(Debug, Clone)]
+pub struct IntoPredictions {
+    inference: Inference,
+    next: usize,
+}
+
+impl Iterator for IntoPredictions {
+    type Item = Prediction;
+
+    fn next(&mut self) -> Option<Prediction> {
+        if self.next >= self.inference.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(self.inference.prediction(i).expect("index in range"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.inference.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for IntoPredictions {}
+
+impl IntoIterator for Inference {
+    type Item = Prediction;
+    type IntoIter = IntoPredictions;
+
+    fn into_iter(self) -> IntoPredictions {
+        IntoPredictions {
+            inference: self,
+            next: 0,
+        }
+    }
 }
 
 /// Staged construction of a [`Pipeline`], following the workspace's
@@ -80,7 +184,12 @@ impl Inference {
 /// simulation with [`with_hardware_sensor`](Self::with_hardware_sensor)
 /// or any custom [`Sense`] implementation with
 /// [`with_backend`](Self::with_backend).
-#[derive(Debug)]
+///
+/// When the backend is `Clone` the builder is too, and
+/// [`build_replicas`](Self::build_replicas) stamps out identical
+/// pipeline replicas — the construction path serving layers use to give
+/// every worker thread its own engine over the same weights.
+#[derive(Debug, Clone)]
 pub struct PipelineBuilder<S: Sense = AlgorithmicEncoder> {
     model: SnapPixAr,
     backend: S,
@@ -207,6 +316,32 @@ impl<S: Sense> PipelineBuilder<S> {
             threads: self.threads,
         })
     }
+
+    /// Assembles `replicas` identical pipelines from this one recipe.
+    ///
+    /// Every replica carries its own copy of the model weights and the
+    /// backend (including any backend RNG state — replicas with a noisy
+    /// readout draw independent, identically-seeded noise streams) plus a
+    /// fresh private session, so each can serve inference from its own
+    /// thread without sharing mutable state. This is the construction
+    /// path behind `snappix-serve`'s worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`build`](Self::build).
+    pub fn build_replicas(self, replicas: usize) -> Result<Vec<Pipeline<S>>, Error>
+    where
+        S: Clone,
+    {
+        let mut out = Vec::with_capacity(replicas);
+        for _ in 1..replicas {
+            out.push(self.clone().build()?);
+        }
+        if replicas > 0 {
+            out.push(self.build()?);
+        }
+        Ok(out)
+    }
 }
 
 /// The batched SnapPix inference engine.
@@ -272,6 +407,27 @@ impl Pipeline<AlgorithmicEncoder> {
     }
 }
 
+impl<S: Sense + Clone> Pipeline<S> {
+    /// Stamps out a new pipeline running the same model and backend as
+    /// this one.
+    ///
+    /// The replica gets its own copy of the weights and backend state, a
+    /// fresh session, and an *empty* micro-batch queue (clips pending in
+    /// this pipeline are not copied). Because `self` was already
+    /// validated at build time, no re-validation is needed — this is the
+    /// cheap way to scale an existing engine across worker threads.
+    pub fn replicate(&self) -> Pipeline<S> {
+        Pipeline {
+            model: self.model.clone(),
+            backend: self.backend.clone(),
+            pool: SessionPool::new(),
+            pending: Vec::new(),
+            max_pending: self.max_pending,
+            threads: self.threads,
+        }
+    }
+}
+
 impl<S: Sense> Pipeline<S>
 where
     Error: From<S::Error>,
@@ -333,10 +489,19 @@ where
     /// tensor allocation are amortized over the whole batch (see the
     /// `pipeline` criterion bench and BENCHMARKS.md).
     ///
+    /// An *empty* batch (`[0, t, h, w]`, any trailing extents) is
+    /// well-defined and returns an empty [`Inference`] without touching
+    /// the backend — batching front-ends (e.g. the `snappix-serve`
+    /// dynamic batcher) can race to a flush with zero clips and must not
+    /// blow up.
+    ///
     /// # Errors
     ///
     /// Fails when the clips do not match the backend or the model.
     pub fn infer(&mut self, clips: &Tensor) -> Result<Inference, Error> {
+        if clips.rank() == 4 && clips.shape()[0] == 0 {
+            return Ok(Inference::empty(self.model.num_classes()));
+        }
         with_pool(self.threads, || {
             let coded = self.backend.sense_batch(clips)?;
             self.infer_coded(&coded)
@@ -414,10 +579,7 @@ where
     /// the queue is drained either way.
     pub fn flush(&mut self) -> Result<Inference, Error> {
         if self.pending.is_empty() {
-            return Ok(Inference {
-                logits: Tensor::zeros(&[0, self.model.num_classes()]),
-                labels: Vec::new(),
-            });
+            return Ok(Inference::empty(self.model.num_classes()));
         }
         let pending = std::mem::take(&mut self.pending);
         let refs: Vec<&Tensor> = pending.iter().collect();
@@ -567,6 +729,87 @@ mod tests {
         assert!(p.infer_clip(&Tensor::zeros(&[3, 16, 16])).is_err());
         assert_eq!(p.num_classes(), 5);
         assert!(format!("{p:?}").contains("Pipeline"));
+    }
+
+    #[test]
+    fn empty_batch_infers_to_empty_inference() {
+        // Regression: the serve-layer batcher can race to a flush with
+        // zero clips; `[0, t, h, w]` must mean "nothing to do", not a
+        // shape error.
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        let out = p.infer(&Tensor::zeros(&[0, 4, 16, 16])).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+        assert_eq!(out.logits.shape(), &[0, 5]);
+        assert_eq!(out.predictions().count(), 0);
+        // Trailing extents of an empty batch are irrelevant: zero clips
+        // of any geometry is still zero clips.
+        assert!(p.infer(&Tensor::zeros(&[0, 9, 3, 3])).unwrap().is_empty());
+        // A rank mismatch is still an error even at batch 0.
+        assert!(p.infer(&Tensor::zeros(&[0, 16, 16])).is_err());
+    }
+
+    #[test]
+    fn predictions_iterate_in_batch_order() {
+        let mut p = Pipeline::builder(model()).build().unwrap();
+        let out = p.infer(&clips(3)).unwrap();
+        assert_eq!(out.predictions().len(), 3);
+        for (i, pred) in out.predictions().enumerate() {
+            let by_index = out.prediction(i).unwrap();
+            assert_eq!(pred, by_index);
+        }
+        // `&Inference` and owned `Inference` iterate identically.
+        let borrowed: Vec<Prediction> = (&out).into_iter().collect();
+        let labels = out.labels.clone();
+        let owned: Vec<Prediction> = out.into_iter().collect();
+        assert_eq!(borrowed, owned);
+        assert_eq!(
+            owned.iter().map(|p| p.label).collect::<Vec<_>>(),
+            labels,
+            "iteration preserves batch order"
+        );
+    }
+
+    #[test]
+    fn replicas_are_independent_but_identical() {
+        let replicas = Pipeline::builder(model())
+            .with_max_pending(3)
+            .build_replicas(2)
+            .unwrap();
+        assert_eq!(replicas.len(), 2);
+        let clips = clips(2);
+        let mut outs = Vec::new();
+        for mut p in replicas {
+            assert_eq!(p.max_pending(), 3);
+            outs.push(p.infer(&clips).unwrap());
+        }
+        assert!(outs[0].logits.approx_eq(&outs[1].logits, 0.0));
+        assert_eq!(outs[0].labels, outs[1].labels);
+
+        // `replicate` on a built pipeline agrees too, and leaves pending
+        // clips behind.
+        let mut original = Pipeline::builder(model()).build().unwrap();
+        original.submit(&clips.index_axis(0, 0).unwrap()).unwrap();
+        let mut copy = original.replicate();
+        assert_eq!(original.pending(), 1);
+        assert_eq!(copy.pending(), 0);
+        let a = original.flush().unwrap();
+        let b = copy.infer_clip(&clips.index_axis(0, 0).unwrap()).unwrap();
+        assert_eq!(a.labels[0], b.label);
+        assert!(a.logits.index_axis(0, 0).unwrap().approx_eq(&b.logits, 0.0));
+
+        // Zero replicas is a valid (empty) request.
+        assert!(Pipeline::builder(model())
+            .build_replicas(0)
+            .unwrap()
+            .is_empty());
+        // Replication still validates the recipe.
+        let m = model();
+        let bad = AlgorithmicEncoder::new(m.mask().clone()).with_normalization(false);
+        assert!(Pipeline::builder(m)
+            .with_backend(bad)
+            .build_replicas(2)
+            .is_err());
     }
 
     #[test]

@@ -127,10 +127,10 @@ fn batched_inference_matches_per_clip_calls_bit_for_bit() {
     let pipeline = &mut *pipeline;
     let batch = test.batch(0, 4);
     let batched = pipeline.infer(&batch.videos).expect("batched inference");
-    for b in 0..4 {
+    assert_eq!(batched.predictions().len(), 4);
+    for (b, row) in batched.predictions().enumerate() {
         let clip = batch.videos.index_axis(0, b).expect("clip");
         let single = pipeline.infer_clip(&clip).expect("single inference");
-        let row = batched.prediction(b).expect("row");
         assert_eq!(single.label, row.label, "clip {b}");
         assert!(
             single.logits.approx_eq(&row.logits, 0.0),

@@ -72,10 +72,10 @@ proptest! {
         let clips = Tensor::rand_uniform(&mut rng, &[batch, 4, HW, HW], 0.0, 1.0);
         let batched = pipeline.infer(&clips).expect("batched inference");
         prop_assert_eq!(batched.logits.shape(), &[batch, CLASSES]);
-        for b in 0..batch {
+        prop_assert_eq!(batched.predictions().len(), batch);
+        for (b, row) in batched.predictions().enumerate() {
             let clip = clips.index_axis(0, b).expect("clip");
             let single = pipeline.infer_clip(&clip).expect("single inference");
-            let row = batched.prediction(b).expect("row");
             prop_assert_eq!(single.label, row.label);
             prop_assert!(
                 single.logits.approx_eq(&row.logits, 0.0),
@@ -173,4 +173,33 @@ fn unified_error_spans_the_stack() {
         .expect("assembly");
     let err = hw.infer_clip(&Tensor::zeros(&[4, 8, 8])).unwrap_err();
     assert!(matches!(err, Error::Sensor(_)), "got {err}");
+}
+
+/// Regression: an empty `[0, t, h, w]` batch is defined as "nothing to
+/// do" — the serve-layer batcher can race to a flush with zero clips and
+/// must get an empty `Inference`, not a shape error, on *both* backends.
+#[test]
+fn empty_batch_is_an_empty_inference_on_both_backends() {
+    let mask = patterns::long_exposure(4, TILE).expect("valid dims");
+    let mut sw = Pipeline::builder(model_for(&mask))
+        .build()
+        .expect("assembly");
+    let mut hw = Pipeline::builder(model_for(&mask))
+        .with_hardware_sensor(ReadoutConfig::default())
+        .expect("sensor assembly")
+        .build()
+        .expect("assembly");
+    fn assert_empty_inference<S: Sense>(pipeline: &mut Pipeline<S>)
+    where
+        Error: From<S::Error>,
+    {
+        let out = pipeline
+            .infer(&Tensor::zeros(&[0, 4, HW, HW]))
+            .expect("empty batch is well-defined");
+        assert!(out.is_empty());
+        assert_eq!(out.logits.shape(), &[0, CLASSES]);
+        assert_eq!(out.predictions().count(), 0);
+    }
+    assert_empty_inference(&mut sw);
+    assert_empty_inference(&mut hw);
 }

@@ -1,0 +1,235 @@
+//! Integration suite for the `snappix-serve` subsystem: a batched,
+//! replicated server must be *operationally* different from a serial
+//! pipeline (batching, shedding, deadlines) while staying *numerically*
+//! identical to it.
+
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_serve::prelude::*;
+use std::time::Duration;
+
+const T: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 5;
+
+fn model() -> SnapPixAr {
+    let mask = patterns::long_exposure(T, (8, 8)).expect("valid mask");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("valid model")
+}
+
+fn clips(n: usize) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    (0..n)
+        .map(|_| Tensor::rand_uniform(&mut rng, &[T, HW, HW], 0.0, 1.0))
+        .collect()
+}
+
+/// Compile-time pin: the serving layer's whole object graph crosses
+/// threads, so `Pipeline` (both backends), `Server`, and `Ticket` must
+/// stay `Send`. A regression here (an `Rc`, a non-`Send` closure in the
+/// autograd graph, ...) fails compilation, not a test at runtime.
+#[test]
+fn serving_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Pipeline<AlgorithmicEncoder>>();
+    assert_send::<Pipeline<HardwareSensor>>();
+    assert_send::<PipelineBuilder<AlgorithmicEncoder>>();
+    assert_send::<Server>();
+    assert_send::<Ticket>();
+    assert_send::<ServeError>();
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Server>(); // clients share &Server across threads
+}
+
+/// The headline guarantee: hammer one server from many client threads
+/// and require every answer to be bit-for-bit identical to a serial
+/// per-clip loop over a single pipeline.
+#[test]
+fn concurrent_batched_serving_matches_serial_inference_exactly() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+    let all = clips(CLIENTS * PER_CLIENT);
+
+    // Serial reference: one pipeline, one clip at a time.
+    let mut serial = Pipeline::builder(model()).build().expect("assembly");
+    let reference: Vec<Prediction> = all
+        .iter()
+        .map(|c| serial.infer_clip(c).expect("serial inference"))
+        .collect();
+
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(2)
+        .with_queue_depth(CLIENTS * PER_CLIENT)
+        .with_batch_policy(BatchPolicy::new(4, Duration::from_millis(2)))
+        .build()
+        .expect("server assembly");
+
+    let served: Vec<Vec<Prediction>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let all = &all;
+                let server = &server;
+                scope.spawn(move || {
+                    // Interleave clients across the clip list so batches
+                    // mix requests from different clients.
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            let ticket = server
+                                .submit(&all[i * CLIENTS + client])
+                                .expect("admission");
+                            ticket.wait().expect("prediction")
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for (client, results) in served.iter().enumerate() {
+        for (i, prediction) in results.iter().enumerate() {
+            let expected = &reference[i * CLIENTS + client];
+            assert_eq!(prediction.label, expected.label, "client {client} clip {i}");
+            assert!(
+                prediction.logits.approx_eq(&expected.logits, 0.0),
+                "client {client} clip {i}: batched logits must be bit-for-bit serial"
+            );
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.rejected + stats.expired + stats.failed, 0);
+    assert!(stats.batches >= 1);
+    let clips_through_batches: u64 = stats
+        .batch_sizes
+        .iter()
+        .enumerate()
+        .map(|(size, &count)| size as u64 * count)
+        .sum();
+    assert_eq!(clips_through_batches, stats.completed);
+    assert!(stats.queue_latency.samples >= stats.completed);
+    assert!(stats.compute_latency.samples >= stats.batches);
+    assert!(stats.throughput() > 0.0);
+}
+
+/// Backpressure is explicit: with a one-slot queue and a worker holding
+/// its batch open, the second submission must shed with `Overloaded`.
+#[test]
+fn tiny_queue_sheds_load_with_overloaded() {
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(1)
+        // A large max_batch with a long delay parks the worker in its
+        // "wait for more clips" phase, so the queued request stays in
+        // the queue and deterministically occupies the only slot.
+        .with_batch_policy(BatchPolicy::new(8, Duration::from_secs(30)))
+        .build()
+        .expect("server assembly");
+
+    let clip = &clips(1)[0];
+    let first = server.submit(clip).expect("one slot free");
+    let shed = server.try_submit(clip);
+    assert!(
+        matches!(shed, Err(ServeError::Overloaded { capacity: 1 })),
+        "second submission must be shed, got {shed:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, 1);
+
+    // Shutdown flushes the parked partial batch immediately — the
+    // admitted request is still answered, not abandoned.
+    drop(server);
+    let p = first.wait().expect("drained on shutdown");
+    assert_eq!(p.logits.shape(), &[CLASSES]);
+}
+
+/// Deadlines expire queued work instead of running it late.
+#[test]
+fn expired_deadlines_shed_queued_work() {
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(8)
+        .with_batch_policy(BatchPolicy::new(2, Duration::from_millis(100)))
+        .build()
+        .expect("server assembly");
+
+    let clip = &clips(1)[0];
+    // A zero deadline is expired by the time any worker claims it.
+    let doomed = server
+        .try_submit_within(clip, Duration::ZERO)
+        .expect("admission is still granted");
+    match doomed.wait() {
+        Err(ServeError::DeadlineExpired { .. }) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    // A generous deadline serves normally on the same server.
+    let fine = server
+        .submit_within(clip, Duration::from_secs(60))
+        .expect("admission");
+    assert_eq!(fine.wait().expect("served").logits.shape(), &[CLASSES]);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Geometry is validated at admission so one bad clip cannot poison a
+/// whole batch, and shutdown refuses new work.
+#[test]
+fn bad_clips_and_shutdown_are_rejected_at_the_door() {
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .build()
+        .expect("server assembly");
+    assert_eq!(server.expected_clip(), [T, HW, HW]);
+    assert_eq!(server.num_classes(), CLASSES);
+    assert!(matches!(
+        server.try_submit(&Tensor::zeros(&[T, 8, 8])),
+        Err(ServeError::BadClip { .. })
+    ));
+    assert!(matches!(
+        server.try_submit(&Tensor::zeros(&[1, T, HW, HW])),
+        Err(ServeError::BadClip { .. })
+    ));
+    // Bad clips never reach the queue or the stats.
+    assert_eq!(server.stats().submitted, 0);
+
+    // The blocking API answers like the one-shot API.
+    let clip = &clips(1)[0];
+    let label = server.classify(clip).expect("classify");
+    let direct = server.infer_clip(clip).expect("infer_clip");
+    assert_eq!(label, direct.label);
+}
+
+/// The hardware-sensor path serves through replicas too (each replica
+/// clones the readout chain), and agrees with the algorithmic path on
+/// the decision for a noiseless ADC.
+#[test]
+fn hardware_backed_server_serves_and_agrees_on_labels() {
+    let recipe = Pipeline::builder(model())
+        .with_hardware_sensor(ReadoutConfig::noiseless(12, 4.0))
+        .expect("sensor assembly");
+    let server = Server::builder(recipe)
+        .with_workers(2)
+        .build()
+        .expect("server assembly");
+    let mut sw = Pipeline::builder(model()).build().expect("assembly");
+    for clip in &clips(3) {
+        let hw_label = server.classify(clip).expect("served");
+        let sw_label = sw.infer_clip(clip).expect("serial").label;
+        assert_eq!(hw_label, sw_label, "noiseless ADC must not flip labels");
+    }
+}
+
+/// Serve errors unify into `snappix::Error` for callers mixing layers.
+#[test]
+fn serve_errors_unify_into_the_umbrella_error() {
+    let e: snappix::Error = ServeError::Overloaded { capacity: 64 }.into();
+    assert!(matches!(e, snappix::Error::Serve(_)));
+    assert!(e.to_string().contains("overloaded"));
+}
