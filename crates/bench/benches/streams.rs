@@ -1,0 +1,119 @@
+//! Criterion macrobench: the `snappix-stream` multi-stream runner vs a
+//! serial per-stream loop — the acceptance measurement for the streaming
+//! subsystem (numbers recorded in BENCHMARKS.md).
+//!
+//! Both sides classify the same 8-stream sliding-window workload
+//! (`T = 8` windows at hop 4 over 40-frame `16x16` videos, 9 windows per
+//! stream, 72 windows total):
+//!
+//! * `streams/serial_per_stream_loop` is the no-streaming-layer
+//!   baseline — streams handled one after another, each window through
+//!   `Pipeline::infer_clip`, the way a naive node would poll its
+//!   cameras round-robin.
+//! * `streams/concurrent_runner` drives all 8 streams concurrently
+//!   through a `StreamRunner` over a one-worker `Server`
+//!   (`BatchPolicy::greedy(8)`), so windows from *different* streams
+//!   coalesce into shared batched forward passes. One worker isolates
+//!   the cross-stream batching win from replica parallelism, which a
+//!   1-core container could not show anyway.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snappix_stream::prelude::*;
+
+const T: usize = 8;
+const HOP: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+const STREAMS: usize = 8;
+const FRAMES: usize = 40;
+
+fn model() -> SnapPixAr {
+    let mask = patterns::long_exposure(T, (8, 8)).expect("valid mask");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("geometry")
+}
+
+fn videos() -> Vec<Video> {
+    let data = Dataset::new(ssv2_like(FRAMES, HW, HW), STREAMS);
+    (0..STREAMS).map(|i| data.sample(i).video).collect()
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let videos = videos();
+    let windows_per_stream = (FRAMES - T) / HOP + 1;
+
+    let mut group = c.benchmark_group("streams");
+    group.sample_size(20);
+
+    // Baseline: the pre-streaming world — one engine, one camera at a
+    // time, one window at a time.
+    let mut serial = Pipeline::builder(model()).build().expect("assembly");
+    group.bench_function(
+        format!("serial_per_stream_loop{STREAMS}x{windows_per_stream}_{HW}x{HW}"),
+        |b| {
+            b.iter(|| {
+                let mut labels = Vec::with_capacity(STREAMS * windows_per_stream);
+                for video in &videos {
+                    for window in video.windows(T, HOP) {
+                        labels.push(serial.infer_clip(&window).expect("inference").label);
+                    }
+                }
+                labels
+            })
+        },
+    );
+
+    // The streaming subsystem: 8 concurrent sessions over one server,
+    // windows batching across streams.
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(STREAMS * windows_per_stream)
+        .with_batch_policy(BatchPolicy::greedy(8))
+        .build()
+        .expect("server assembly");
+    group.bench_function(
+        format!("concurrent_runner{STREAMS}x{windows_per_stream}_{HW}x{HW}"),
+        |b| {
+            b.iter(|| {
+                let mut runner = StreamRunner::new(&server);
+                for video in &videos {
+                    runner.add_stream(
+                        ReplaySource::new(video.clone()),
+                        SessionConfig::new(T, HOP).with_smoothing(Smoothing::Off),
+                    );
+                }
+                let report = runner.run().expect("streaming run");
+                assert_eq!(
+                    report.aggregate.inferred,
+                    (STREAMS * windows_per_stream) as u64
+                );
+                report
+            })
+        },
+    );
+    group.finish();
+
+    // One more timed run outside criterion to report the headline
+    // aggregate windows/sec and the achieved batching.
+    let mut runner = StreamRunner::new(&server);
+    for video in &videos {
+        runner.add_stream(
+            ReplaySource::new(video.clone()),
+            SessionConfig::new(T, HOP).with_smoothing(Smoothing::Off),
+        );
+    }
+    let report = runner.run().expect("streaming run");
+    let stats = server.shutdown();
+    eprintln!(
+        "streams bench telemetry: {:.1} windows/s aggregate over {} streams \
+         (e2e p50 {:.2?} p99 {:.2?}); server mean batch {:.2} over {} batches",
+        report.windows_per_sec(),
+        report.streams.len(),
+        report.aggregate.latency.p50,
+        report.aggregate.latency.p99,
+        stats.mean_batch_size(),
+        stats.batches,
+    );
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -104,6 +104,15 @@ pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<()>
         }
         *store.value_mut(id) = Tensor::from_vec(data, &shape)?;
     }
+    // The declared parameter count must account for the whole file: bytes
+    // past the last parameter mean the header lied (or the file was
+    // concatenated/corrupted), and silently ignoring them would mask it.
+    let mut probe = [0u8; 1];
+    if file.read(&mut probe)? != 0 {
+        return Err(NnError::Format {
+            context: format!("trailing bytes after the last of {count} parameters"),
+        });
+    }
     Ok(())
 }
 
@@ -189,6 +198,53 @@ mod tests {
             load_params(&mut other, &path),
             Err(NnError::Format { .. })
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_rejects_trailing_bytes_and_truncation() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::arange(4).reshape(&[2, 2]).unwrap());
+        store.register("b", Tensor::full(&[2], 0.25));
+        let path = temp_path("strict");
+        save_params(&store, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // The unmodified file round-trips.
+        let fresh = || {
+            let mut s = ParamStore::new();
+            s.register("w", Tensor::zeros(&[2, 2]));
+            s.register("b", Tensor::zeros(&[2]));
+            s
+        };
+        let mut ok = fresh();
+        load_params(&mut ok, &path).unwrap();
+        assert_eq!(ok.value(w).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+
+        // Trailing garbage after the last parameter is a format error,
+        // not silently accepted (a single stray byte must be enough).
+        for junk in [&b"\0"[..], &b"SNPXtrailing"[..]] {
+            let mut bytes = pristine.clone();
+            bytes.extend_from_slice(junk);
+            std::fs::write(&path, &bytes).unwrap();
+            let err = load_params(&mut fresh(), &path).unwrap_err();
+            match err {
+                NnError::Format { context } => {
+                    assert!(context.contains("trailing"), "{context}")
+                }
+                other => panic!("expected Format, got {other:?}"),
+            }
+        }
+
+        // A truncated file fails mid-read with an I/O error at every
+        // prefix length (header, name, shape, or data cut short).
+        for cut in [pristine.len() - 1, pristine.len() / 2, 6, 2] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(
+                matches!(load_params(&mut fresh(), &path), Err(NnError::Io(_))),
+                "prefix of {cut} bytes must fail as truncated"
+            );
+        }
         std::fs::remove_file(path).ok();
     }
 

@@ -30,6 +30,33 @@ pub struct LatencySummary {
     pub max: Duration,
 }
 
+impl LatencySummary {
+    /// Nearest-rank percentiles over a finite sample set (`samples` is
+    /// the set's length; empty input yields the all-zero default).
+    ///
+    /// This is the one shared percentile implementation: the server's
+    /// sliding telemetry windows and the streaming layer's per-stream
+    /// reports both rank through it.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            samples: samples.len() as u64,
+            p50: nearest_rank(50.0),
+            p95: nearest_rank(95.0),
+            p99: nearest_rank(99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
 /// A point-in-time snapshot of a [`Server`](crate::Server)'s telemetry,
 /// from [`Server::stats`](crate::Server::stats).
 ///
@@ -146,24 +173,12 @@ impl Window {
     }
 
     fn summarize(&self) -> LatencySummary {
-        if self.recent.is_empty() {
-            return LatencySummary {
-                samples: self.seen,
-                ..LatencySummary::default()
-            };
-        }
-        let mut sorted: Vec<Duration> = self.recent.iter().copied().collect();
-        sorted.sort_unstable();
-        let nearest_rank = |p: f64| {
-            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        let recent: Vec<Duration> = self.recent.iter().copied().collect();
         LatencySummary {
+            // The window ranks over its recent samples but reports the
+            // all-time stream count.
             samples: self.seen,
-            p50: nearest_rank(50.0),
-            p95: nearest_rank(95.0),
-            p99: nearest_rank(99.0),
-            max: *sorted.last().expect("non-empty"),
+            ..LatencySummary::from_samples(&recent)
         }
     }
 }
@@ -324,6 +339,21 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("batches: 2"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn from_samples_is_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        // Order-independent: ranking sorts internally.
+        let reversed: Vec<Duration> = samples.iter().rev().copied().collect();
+        assert_eq!(LatencySummary::from_samples(&reversed), s);
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum Error {
     /// through this variant, and the original error stays reachable via
     /// [`std::error::Error::source`] / downcasting.
     Serve(Box<dyn std::error::Error + Send + Sync>),
+    /// The streaming layer failed (frame source, window assembly, or a
+    /// per-stream session).
+    ///
+    /// Boxed for the same reason as [`Serve`](Self::Serve): the
+    /// streaming crate (`snappix-stream`) sits above this umbrella crate
+    /// and provides `From<StreamError> for Error` through this variant;
+    /// the original error stays reachable via
+    /// [`std::error::Error::source`] / downcasting.
+    Stream(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl fmt::Display for Error {
@@ -51,6 +60,7 @@ impl fmt::Display for Error {
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Pipeline { context } => write!(f, "pipeline error: {context}"),
             Error::Serve(e) => write!(f, "serve error: {e}"),
+            Error::Stream(e) => write!(f, "stream error: {e}"),
         }
     }
 }
@@ -66,6 +76,7 @@ impl std::error::Error for Error {
             Error::Model(e) => Some(e),
             Error::Pipeline { .. } => None,
             Error::Serve(e) => Some(e.as_ref()),
+            Error::Stream(e) => Some(e.as_ref()),
         }
     }
 }
@@ -152,5 +163,12 @@ mod tests {
         }));
         assert!(s.to_string().starts_with("serve error:"));
         assert!(std::error::Error::source(&s).is_some());
+
+        // The streaming layer converts the same way.
+        let st = Error::Stream(Box::new(snappix_tensor::TensorError::InvalidArgument {
+            context: "ring".into(),
+        }));
+        assert!(st.to_string().starts_with("stream error:"));
+        assert!(std::error::Error::source(&st).is_some());
     }
 }

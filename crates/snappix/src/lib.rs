@@ -28,7 +28,12 @@
 //! threads each run a pipeline replica (stamped out via
 //! [`PipelineBuilder::build_replicas`]), a dynamic batcher coalesces
 //! concurrent requests into one batched [`Pipeline::infer`] call, and a
-//! bounded admission queue sheds overload explicitly.
+//! bounded admission queue sheds overload explicitly. Above *that*,
+//! `snappix-stream` serves continuous per-camera frame streams:
+//! sliding-window assembly, temporal smoothing, label-change events,
+//! and per-stream overload policies over a shared server. Both layers'
+//! failures unify into [`Error`] through its boxed `Serve` and `Stream`
+//! variants.
 //!
 //! Hot kernels across the workspace (matmul, convolutions, Pearson
 //! statistics, the sensor capture simulation) fan out across the shared

@@ -1,0 +1,206 @@
+//! Temporal smoothing of per-window predictions.
+//!
+//! A single window's classification flickers: adjacent windows share
+//! most of their frames yet can argmax to different labels near a class
+//! boundary or under sensor noise. The smoother turns the raw per-window
+//! [`Prediction`] stream into a stable label stream, either by an
+//! exponential moving average over the logits or by majority vote over
+//! the last `k` raw labels. Smoothing never alters the raw predictions —
+//! those stay bit-for-bit equal to offline inference; it only decides
+//! which label the stream *reports* (and hands to event detection).
+
+use snappix::Prediction;
+use std::collections::VecDeque;
+
+/// How a stream session smooths raw per-window labels over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoothing {
+    /// No smoothing: the reported label is each window's raw argmax.
+    Off,
+    /// Exponential moving average over the *logits*:
+    /// `s ← alpha * logits + (1 - alpha) * s`, reported label =
+    /// `argmax(s)`. Smaller `alpha` smooths harder; `alpha = 1` degenerates
+    /// to [`Off`](Self::Off). `alpha` is clamped to `(0, 1]`.
+    Ema {
+        /// Weight of the newest window's logits.
+        alpha: f32,
+    },
+    /// Majority vote over the raw labels of the last `k` windows (ties
+    /// break toward the label seen most recently). `k` is clamped to at
+    /// least 1; `k = 1` degenerates to [`Off`](Self::Off).
+    Majority {
+        /// Vote window length in windows.
+        k: usize,
+    },
+}
+
+impl Default for Smoothing {
+    /// EMA with `alpha = 0.5` — a gentle default that still reacts
+    /// within a couple of windows.
+    fn default() -> Self {
+        Smoothing::Ema { alpha: 0.5 }
+    }
+}
+
+/// The per-stream smoothing state behind a [`Smoothing`] config.
+#[derive(Debug, Clone)]
+pub(crate) enum Smoother {
+    Off,
+    Ema { alpha: f32, state: Vec<f32> },
+    Majority { k: usize, recent: VecDeque<usize> },
+}
+
+impl Smoother {
+    pub fn new(config: Smoothing) -> Self {
+        match config {
+            Smoothing::Off => Smoother::Off,
+            Smoothing::Ema { alpha } => Smoother::Ema {
+                // `clamp` propagates NaN, which would poison the whole
+                // state vector; a NaN alpha degenerates to raw labels.
+                alpha: if alpha.is_nan() {
+                    1.0
+                } else {
+                    alpha.clamp(f32::EPSILON, 1.0)
+                },
+                state: Vec::new(),
+            },
+            Smoothing::Majority { k } => Smoother::Majority {
+                k: k.max(1),
+                recent: VecDeque::new(),
+            },
+        }
+    }
+
+    /// Folds one raw prediction in, returning the smoothed label.
+    ///
+    /// Must be called in window order — the session guarantees this by
+    /// processing results through its FIFO of in-flight tickets. Dropped
+    /// windows are simply never observed: smoothing operates on the
+    /// windows that were actually inferred.
+    pub fn observe(&mut self, prediction: &Prediction) -> usize {
+        match self {
+            Smoother::Off => prediction.label,
+            Smoother::Ema { alpha, state } => {
+                let logits = prediction.logits.as_slice();
+                if state.len() != logits.len() {
+                    state.clear();
+                    state.extend_from_slice(logits);
+                } else {
+                    for (s, &l) in state.iter_mut().zip(logits) {
+                        *s = *alpha * l + (1.0 - *alpha) * *s;
+                    }
+                }
+                argmax(state)
+            }
+            Smoother::Majority { k, recent } => {
+                if recent.len() == *k {
+                    recent.pop_front();
+                }
+                recent.push_back(prediction.label);
+                // Mode of the vote window; ties break toward the label
+                // whose latest occurrence is most recent.
+                let mut best = prediction.label;
+                let mut best_count = 0usize;
+                let mut best_last = 0usize;
+                for (i, &label) in recent.iter().enumerate() {
+                    let count = recent.iter().filter(|&&l| l == label).count();
+                    if count > best_count || (count == best_count && i > best_last) {
+                        best = label;
+                        best_count = count;
+                        best_last = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snappix_tensor::Tensor;
+
+    fn prediction(logits: &[f32]) -> Prediction {
+        Prediction {
+            label: argmax(logits),
+            logits: Tensor::from_vec(logits.to_vec(), &[logits.len()]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn off_reports_raw_labels() {
+        let mut s = Smoother::new(Smoothing::Off);
+        assert_eq!(s.observe(&prediction(&[0.0, 1.0])), 1);
+        assert_eq!(s.observe(&prediction(&[2.0, 1.0])), 0);
+    }
+
+    #[test]
+    fn ema_rides_out_a_single_flicker() {
+        let mut s = Smoother::new(Smoothing::Ema { alpha: 0.3 });
+        assert_eq!(s.observe(&prediction(&[5.0, 0.0])), 0, "seeded by first");
+        // One outlier window for class 1 is not enough to flip the EMA...
+        assert_eq!(s.observe(&prediction(&[0.0, 6.0])), 0);
+        // ...but sustained evidence is.
+        assert_eq!(s.observe(&prediction(&[0.0, 6.0])), 1);
+    }
+
+    #[test]
+    fn ema_alpha_one_degenerates_to_raw() {
+        let mut s = Smoother::new(Smoothing::Ema { alpha: 1.0 });
+        assert_eq!(s.observe(&prediction(&[5.0, 0.0])), 0);
+        assert_eq!(s.observe(&prediction(&[0.0, 0.1])), 1, "no memory");
+    }
+
+    #[test]
+    fn ema_reseeds_when_class_count_changes() {
+        // A defensive path: if the logits width ever changes mid-stream
+        // (it cannot through one server, but the smoother is public
+        // machinery), the state reseeds instead of zipping mismatched
+        // lengths.
+        let mut s = Smoother::new(Smoothing::Ema { alpha: 0.1 });
+        assert_eq!(s.observe(&prediction(&[1.0, 0.0])), 0);
+        assert_eq!(s.observe(&prediction(&[0.0, 0.0, 9.0])), 2);
+    }
+
+    #[test]
+    fn majority_votes_over_the_window() {
+        let mut s = Smoother::new(Smoothing::Majority { k: 3 });
+        assert_eq!(s.observe(&prediction(&[1.0, 0.0])), 0); // [0]
+        assert_eq!(s.observe(&prediction(&[0.0, 1.0])), 1, "tie -> newest"); // [0, 1]
+        assert_eq!(s.observe(&prediction(&[1.0, 0.0])), 0); // [0, 1, 0]
+        assert_eq!(s.observe(&prediction(&[0.0, 1.0])), 1, "tie -> newest"); // [1, 0, 1]
+        assert_eq!(s.observe(&prediction(&[0.0, 1.0])), 1); // [0, 1, 1]
+    }
+
+    #[test]
+    fn majority_k_one_degenerates_to_raw() {
+        let mut s = Smoother::new(Smoothing::Majority { k: 1 });
+        assert_eq!(s.observe(&prediction(&[0.0, 1.0])), 1);
+        assert_eq!(s.observe(&prediction(&[1.0, 0.0])), 0);
+        // And the clamps hold.
+        assert!(matches!(
+            Smoother::new(Smoothing::Majority { k: 0 }),
+            Smoother::Majority { k: 1, .. }
+        ));
+        assert!(matches!(
+            Smoother::new(Smoothing::Ema { alpha: 7.0 }),
+            Smoother::Ema { alpha, .. } if alpha == 1.0
+        ));
+        assert!(matches!(
+            Smoother::new(Smoothing::Ema { alpha: f32::NAN }),
+            Smoother::Ema { alpha, .. } if alpha == 1.0
+        ));
+        assert_eq!(Smoothing::default(), Smoothing::Ema { alpha: 0.5 });
+    }
+}

@@ -1,0 +1,148 @@
+//! Streaming telemetry: per-stream (and aggregate) counters plus
+//! end-to-end latency percentiles.
+
+use snappix_serve::LatencySummary;
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and latency percentiles for one stream — or, via
+/// [`StreamStats::aggregate`], for a whole multi-stream run.
+///
+/// Accounting is conserved per stream: every assembled window ends up in
+/// exactly one of `inferred`, `shed`, or `expired`.
+///
+/// End-to-end latency is measured per inferred window from the instant
+/// its last frame arrived (the window *could* first exist) to the
+/// instant its prediction was received back from the server — it spans
+/// admission queueing, batching delay, and compute. Percentiles are
+/// nearest-rank over all of the stream's samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamStats {
+    /// Frames ingested from the source.
+    pub frames: u64,
+    /// Full windows assembled out of those frames.
+    pub windows: u64,
+    /// Windows that came back with a prediction.
+    pub inferred: u64,
+    /// Windows dropped by the overload policy (skipped at admission or
+    /// displaced as the oldest pending window).
+    pub shed: u64,
+    /// Windows whose per-window deadline expired in the server queue.
+    pub expired: u64,
+    /// Label-change events emitted.
+    pub events: u64,
+    /// End-to-end (window-complete to prediction-received) latency.
+    pub latency: LatencySummary,
+}
+
+impl StreamStats {
+    /// Fraction of assembled windows that were inferred (1.0 for an
+    /// unloaded stream; less under shedding). Zero windows → 1.0.
+    pub fn service_ratio(&self) -> f64 {
+        if self.windows == 0 {
+            return 1.0;
+        }
+        self.inferred as f64 / self.windows as f64
+    }
+
+    /// Sums counters across streams and re-ranks latency percentiles
+    /// over the pooled samples (percentiles do not average; they must be
+    /// recomputed from the union).
+    pub fn aggregate<'a>(
+        per_stream: impl IntoIterator<Item = &'a StreamStats>,
+        pooled_latencies: &[Duration],
+    ) -> StreamStats {
+        let mut total = StreamStats::default();
+        for s in per_stream {
+            total.frames += s.frames;
+            total.windows += s.windows;
+            total.inferred += s.inferred;
+            total.shed += s.shed;
+            total.expired += s.expired;
+            total.events += s.events;
+        }
+        total.latency = summarize(pooled_latencies);
+        total
+    }
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames -> {} windows ({} inferred, {} shed, {} expired), {} events; \
+             e2e latency p50 {:.2?} p95 {:.2?} p99 {:.2?} max {:.2?}",
+            self.frames,
+            self.windows,
+            self.inferred,
+            self.shed,
+            self.expired,
+            self.events,
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.max,
+        )
+    }
+}
+
+/// Nearest-rank percentiles over a finite latency sample set — the
+/// serving layer's shared implementation.
+pub(crate) fn summarize(samples: &[Duration]) -> LatencySummary {
+    LatencySummary::from_samples(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_is_nearest_rank() {
+        let samples: Vec<Duration> = (1..=200).map(Duration::from_millis).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.samples, 200);
+        assert_eq!(s.p50, Duration::from_millis(100));
+        assert_eq!(s.p95, Duration::from_millis(190));
+        assert_eq!(s.p99, Duration::from_millis(198));
+        assert_eq!(s.max, Duration::from_millis(200));
+        assert_eq!(summarize(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_pools_latencies() {
+        let a = StreamStats {
+            frames: 100,
+            windows: 20,
+            inferred: 18,
+            shed: 2,
+            expired: 0,
+            events: 3,
+            latency: summarize(&[Duration::from_millis(1)]),
+        };
+        let b = StreamStats {
+            frames: 50,
+            windows: 10,
+            inferred: 7,
+            shed: 1,
+            expired: 2,
+            events: 1,
+            latency: summarize(&[Duration::from_millis(9)]),
+        };
+        let pooled = [Duration::from_millis(1), Duration::from_millis(9)];
+        let total = StreamStats::aggregate([&a, &b], &pooled);
+        assert_eq!(total.frames, 150);
+        assert_eq!(total.windows, 30);
+        assert_eq!(total.inferred, 25);
+        assert_eq!(total.shed, 3);
+        assert_eq!(total.expired, 2);
+        assert_eq!(total.events, 4);
+        assert_eq!(total.inferred + total.shed + total.expired, total.windows);
+        assert_eq!(total.latency.samples, 2);
+        assert_eq!(total.latency.max, Duration::from_millis(9));
+        assert!((total.service_ratio() - 25.0 / 30.0).abs() < 1e-12);
+        assert_eq!(StreamStats::default().service_ratio(), 1.0);
+        let text = total.to_string();
+        assert!(text.contains("25 inferred"));
+        assert!(text.contains("p99"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Sliding-window assembly over a live frame stream.
+//!
+//! The offline equivalent is [`Video::windows`](snappix_video::Video::windows):
+//! window `k` covers frames `[k * hop, k * hop + t)`. The assembler
+//! produces *exactly those tensors* from frames arriving one at a time,
+//! holding only the last `t` frames in a fixed ring buffer — constant
+//! memory no matter how long the stream runs (pinned by a unit test that
+//! diffs it against the iterator).
+
+use crate::StreamError;
+use snappix_tensor::Tensor;
+
+/// Turns a frame-at-a-time stream into sliding `[t, h, w]` windows.
+///
+/// Frames are written into a fixed `t`-frame ring buffer; a window is
+/// emitted the moment its last frame arrives (start `k * hop`, length
+/// `t`), which is also the instant its end-to-end latency clock starts.
+/// `hop < t` overlaps windows, `hop == t` tiles the stream, `hop > t`
+/// skips the frames between windows — gap frames still pass through the
+/// ring (they are simply overwritten unemitted).
+///
+/// # Examples
+///
+/// ```
+/// use snappix_stream::WindowAssembler;
+/// use snappix_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snappix_stream::StreamError> {
+/// let mut assembler = WindowAssembler::new(3, 2, [4, 4])?;
+/// let mut windows = 0;
+/// for i in 0..7 {
+///     if let Some(window) = assembler.push(&Tensor::full(&[4, 4], i as f32))? {
+///         assert_eq!(window.shape(), &[3, 4, 4]);
+///         windows += 1;
+///     }
+/// }
+/// assert_eq!(windows, 3); // starts 0, 2, 4
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowAssembler {
+    /// Ring of the last `t` frames, laid out frame-major: slot
+    /// `frame_index % t` holds that frame's `h * w` pixels.
+    ring: Vec<f32>,
+    t: usize,
+    hop: usize,
+    shape: [usize; 2],
+    frames_in: usize,
+}
+
+impl WindowAssembler {
+    /// An assembler for `[t, h, w]` windows at the given hop over
+    /// `frame_shape = [h, w]` frames. `hop` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Config`] for a zero-length window or a
+    /// zero-area frame.
+    pub fn new(t: usize, hop: usize, frame_shape: [usize; 2]) -> Result<Self, StreamError> {
+        if t == 0 {
+            return Err(StreamError::Config {
+                context: "window length t must be at least 1".to_string(),
+            });
+        }
+        if frame_shape.contains(&0) {
+            return Err(StreamError::Config {
+                context: format!("frame shape {frame_shape:?} has a zero extent"),
+            });
+        }
+        Ok(WindowAssembler {
+            ring: vec![0.0; t * frame_shape[0] * frame_shape[1]],
+            t,
+            hop: hop.max(1),
+            shape: frame_shape,
+            frames_in: 0,
+        })
+    }
+
+    /// Window length `t`.
+    pub fn window(&self) -> usize {
+        self.t
+    }
+
+    /// Hop between consecutive window starts.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Frames pushed so far.
+    pub fn frames_in(&self) -> usize {
+        self.frames_in
+    }
+
+    /// Windows emitted so far.
+    pub fn windows_out(&self) -> usize {
+        if self.frames_in < self.t {
+            0
+        } else {
+            (self.frames_in - self.t) / self.hop + 1
+        }
+    }
+
+    /// Absorbs one `[h, w]` frame; returns the completed `[t, h, w]`
+    /// window when this frame is the last of one.
+    ///
+    /// A window starting at frame `s = k * hop` completes exactly when
+    /// frame `s + t - 1` arrives, and the ring then holds precisely
+    /// frames `[s, s + t)` — so assembly is a rotation-ordered copy out
+    /// of the ring, never a re-buffering of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Frame`] when the frame's shape differs
+    /// from the assembler's geometry.
+    pub fn push(&mut self, frame: &Tensor) -> Result<Option<Tensor>, StreamError> {
+        if frame.shape() != self.shape {
+            return Err(StreamError::Frame {
+                context: format!(
+                    "expected an [h, w] = {:?} frame, got {:?}",
+                    self.shape,
+                    frame.shape()
+                ),
+            });
+        }
+        let frame_len = self.shape[0] * self.shape[1];
+        let slot = self.frames_in % self.t;
+        self.ring[slot * frame_len..(slot + 1) * frame_len].copy_from_slice(frame.as_slice());
+        self.frames_in += 1;
+
+        // Ready when the frame just pushed closes a window: with
+        // `frames_in` now past the end, start = frames_in - t must be a
+        // hop multiple.
+        if self.frames_in < self.t || !(self.frames_in - self.t).is_multiple_of(self.hop) {
+            return Ok(None);
+        }
+        let start = self.frames_in - self.t;
+        let mut data = Vec::with_capacity(self.t * frame_len);
+        for i in start..start + self.t {
+            let slot = i % self.t;
+            data.extend_from_slice(&self.ring[slot * frame_len..(slot + 1) * frame_len]);
+        }
+        let window = Tensor::from_vec(data, &[self.t, self.shape[0], self.shape[1]])
+            .expect("ring data matches the window shape");
+        Ok(Some(window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snappix_video::Video;
+
+    fn video(n: usize) -> Video {
+        let data: Vec<f32> = (0..n * 6).map(|x| x as f32 * 0.25).collect();
+        Video::new(Tensor::from_vec(data, &[n, 2, 3]).unwrap()).unwrap()
+    }
+
+    /// The defining property: streaming assembly reproduces
+    /// `Video::windows` bit for bit, for overlapping, tiling and
+    /// gapped hops, including clip lengths not divisible by the hop.
+    #[test]
+    fn assembler_matches_offline_windows_exactly() {
+        for (n, t, hop) in [
+            (11, 4, 1),
+            (11, 4, 3),
+            (12, 4, 4),
+            (13, 2, 5),
+            (3, 4, 1), // fewer frames than a window: no output
+            (7, 7, 2), // single exact-fit window
+        ] {
+            let v = video(n);
+            let offline: Vec<Tensor> = v.windows(t, hop).collect();
+            let mut assembler = WindowAssembler::new(t, hop, [2, 3]).unwrap();
+            let mut streamed = Vec::new();
+            for i in 0..n {
+                if let Some(w) = assembler.push(&v.frame(i).unwrap()).unwrap() {
+                    streamed.push(w);
+                }
+            }
+            assert_eq!(
+                streamed.len(),
+                offline.len(),
+                "window count for n={n} t={t} hop={hop}"
+            );
+            assert_eq!(assembler.windows_out(), offline.len());
+            assert_eq!(assembler.frames_in(), n);
+            for (k, (s, o)) in streamed.iter().zip(&offline).enumerate() {
+                assert!(
+                    s.approx_eq(o, 0.0),
+                    "window {k} differs for n={n} t={t} hop={hop}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(matches!(
+            WindowAssembler::new(0, 1, [2, 2]),
+            Err(StreamError::Config { .. })
+        ));
+        assert!(matches!(
+            WindowAssembler::new(2, 1, [0, 2]),
+            Err(StreamError::Config { .. })
+        ));
+        let mut a = WindowAssembler::new(2, 1, [2, 2]).unwrap();
+        assert!(matches!(
+            a.push(&Tensor::zeros(&[3, 2])),
+            Err(StreamError::Frame { .. })
+        ));
+        // A rejected frame is not absorbed.
+        assert_eq!(a.frames_in(), 0);
+        assert_eq!(a.window(), 2);
+        assert_eq!(a.hop(), 1);
+    }
+
+    #[test]
+    fn hop_zero_clamps_to_one() {
+        let mut a = WindowAssembler::new(2, 0, [1, 1]).unwrap();
+        assert_eq!(a.hop(), 1);
+        let mut count = 0;
+        for i in 0..4 {
+            if a.push(&Tensor::full(&[1, 1], i as f32)).unwrap().is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+}

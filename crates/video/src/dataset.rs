@@ -169,12 +169,11 @@ impl Dataset {
         )
     }
 
-    /// Renders sample `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len`.
-    pub fn sample(&self, index: usize) -> Sample {
+    /// Seeds sample `index`'s RNG and draws its label — the shared
+    /// prefix of [`label`](Self::label) and [`sample`](Self::sample)
+    /// (rendering continues from the returned RNG state, so the two
+    /// always agree).
+    fn seed_sample(&self, index: usize) -> (StdRng, usize) {
         assert!(index < self.len, "index {index} out of {}", self.len);
         let global = self.offset + index;
         let mut rng = StdRng::seed_from_u64(
@@ -189,6 +188,27 @@ impl Dataset {
         } else {
             (global + rng.random_range(0..2) * self.config.num_classes) % self.config.num_classes
         };
+        (rng, label)
+    }
+
+    /// Ground-truth label of sample `index`, *without* rendering its
+    /// frames — label lookups are cheap even though sampling renders a
+    /// full procedural scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn label(&self, index: usize) -> usize {
+        self.seed_sample(index).1
+    }
+
+    /// Renders sample `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn sample(&self, index: usize) -> Sample {
+        let (mut rng, label) = self.seed_sample(index);
         let params = SceneParams {
             frames: self.config.frames,
             height: self.config.height,
@@ -279,6 +299,17 @@ mod tests {
         let a = data.sample(0);
         let b = data.sample(1);
         assert!(!a.video.frames().approx_eq(b.video.frames(), 1e-6));
+    }
+
+    #[test]
+    fn label_agrees_with_sample_without_rendering() {
+        let data = Dataset::new(ssv2_like(4, 8, 8), 16);
+        for i in 0..data.len() {
+            assert_eq!(data.label(i), data.sample(i).label, "sample {i}");
+        }
+        // Split views agree too (offset is applied).
+        let (_, test) = data.split(0.5);
+        assert_eq!(test.label(0), data.label(8));
     }
 
     #[test]

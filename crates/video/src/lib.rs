@@ -44,4 +44,4 @@ pub use action::ActionClass;
 pub use dataset::{k400_like, ssv2_like, ucf101_like, Batch, Dataset, DatasetConfig, Sample};
 pub use metrics::psnr;
 pub use scene::{render_scene, SceneParams};
-pub use video::Video;
+pub use video::{Video, Windows};

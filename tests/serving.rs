@@ -178,6 +178,69 @@ fn expired_deadlines_shed_queued_work() {
     assert_eq!(stats.completed, 1);
 }
 
+/// A client-side `wait_timeout` that expires while the request is
+/// *mid-compute* (claimed off the queue, riding in a running batch) must
+/// return `Ok(None)` and leave the ticket redeemable — a client timing
+/// out is not a server-side deadline expiry. Only queue-side expiry was
+/// covered before this test.
+#[test]
+fn wait_timeout_mid_compute_leaves_the_ticket_redeemable() {
+    // A deliberately heavy batch so its compute dwarfs the poll timeout:
+    // 32 clips of [8, 32, 32] through SnapPix-S is multiple milliseconds
+    // of forward pass on any CPU, and the timeout below is 250 us.
+    const B: usize = 32;
+    let mask = patterns::long_exposure(8, (8, 8)).expect("valid mask");
+    let model = SnapPixAr::new(VitConfig::snappix_s(32, 32, CLASSES), mask).expect("valid model");
+    let server = Server::builder(Pipeline::builder(model))
+        .with_workers(1)
+        .with_queue_depth(B)
+        // The worker holds its batch open until all B requests are
+        // queued, then claims them together — so compute starts, and
+        // only starts, right after the last submission below.
+        .with_batch_policy(BatchPolicy::new(B, Duration::from_secs(30)))
+        .build()
+        .expect("server assembly");
+
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let tickets: Vec<Ticket> = (0..B)
+        .map(|_| {
+            let clip = Tensor::rand_uniform(&mut rng, &[8, 32, 32], 0.0, 1.0);
+            server.submit(&clip).expect("admission")
+        })
+        .collect();
+
+    // The full batch was just claimed; its forward pass is now running.
+    // A 250 us poll cannot outlive a 32-clip forward pass, so this
+    // expires with the request mid-compute (or still being claimed —
+    // either way, unanswered).
+    let last = tickets.last().expect("B tickets");
+    assert_eq!(
+        last.wait_timeout(Duration::from_micros(250)),
+        Ok(None),
+        "client-side timeout, request still in flight"
+    );
+
+    // The ticket remains redeemable: a later bounded wait gets the
+    // answer, and so do all the other tickets.
+    let answered = last
+        .wait_timeout(Duration::from_secs(60))
+        .expect("served")
+        .expect("answer arrived within the bounded wait");
+    assert_eq!(answered.logits.shape(), &[CLASSES]);
+    for ticket in &tickets[..B - 1] {
+        assert!(ticket.wait_timeout(Duration::from_secs(60)).is_ok());
+    }
+
+    // Nothing expired server-side: the client giving up on a poll must
+    // not shed the work.
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, B as u64);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.batches, 1, "all B rode one batch");
+    assert_eq!(stats.batch_sizes[B], 1);
+}
+
 /// Geometry is validated at admission so one bad clip cannot poison a
 /// whole batch, and shutdown refuses new work.
 #[test]

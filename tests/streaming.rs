@@ -1,0 +1,355 @@
+//! Integration suite for the `snappix-stream` subsystem.
+//!
+//! The headline guarantee mirrors the serving layer's: streaming must be
+//! *operationally* different from offline inference (windowing, pacing,
+//! overload policies, events) while staying *numerically* identical to
+//! it — every window's raw prediction bit-for-bit equal to an offline
+//! `Pipeline::infer` loop over `Video::windows(t, hop)` of the same
+//! frames, on both the algorithmic and the hardware backend, at every
+//! `SNAPPIX_THREADS` setting (CI runs this file in both matrix legs).
+
+use snappix_stream::prelude::*;
+use std::time::Duration;
+
+const T: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 5;
+const FRAMES: usize = 37; // deliberately not divisible by any hop below
+
+fn model() -> SnapPixAr {
+    let mask = patterns::long_exposure(T, (8, 8)).expect("valid mask");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("valid model")
+}
+
+/// Four distinct deterministic videos with four hop regimes: dense
+/// overlap, tiling, gapped (hop > t), and generic overlap.
+fn workload() -> Vec<(Video, usize)> {
+    let data = Dataset::new(ssv2_like(FRAMES, HW, HW), 4);
+    let hops = [1, T, 7, 3];
+    (0..4).map(|i| (data.sample(i).video, hops[i])).collect()
+}
+
+/// Raw streaming config: no smoothing, immediate events — so the
+/// session's outputs are pure functions of the raw label sequence and
+/// can be checked exactly.
+fn raw_config(hop: usize) -> SessionConfig {
+    SessionConfig::new(T, hop)
+        .with_smoothing(Smoothing::Off)
+        .with_hysteresis(1)
+}
+
+/// Offline reference: per-window predictions from a serial pipeline over
+/// the exact same sliding windows.
+fn offline_reference<S>(
+    mut pipeline: Pipeline<S>,
+    workload: &[(Video, usize)],
+) -> Vec<Vec<Prediction>>
+where
+    S: Sense,
+    snappix::Error: From<S::Error>,
+{
+    workload
+        .iter()
+        .map(|(video, hop)| {
+            video
+                .windows(T, *hop)
+                .map(|w| pipeline.infer_clip(&w).expect("offline inference"))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_streams_match(report: &RunReport, reference: &[Vec<Prediction>]) {
+    assert_eq!(report.streams.len(), reference.len());
+    for (stream, expected) in report.streams.iter().zip(reference) {
+        assert_eq!(
+            stream.results.len(),
+            expected.len(),
+            "stream {}: every offline window must be streamed",
+            stream.id
+        );
+        assert!(stream.dropped.is_empty(), "nothing drops under Block");
+        for (k, (result, offline)) in stream.results.iter().zip(expected).enumerate() {
+            assert_eq!(result.index, k, "results arrive in window order");
+            assert_eq!(
+                result.prediction.label, offline.label,
+                "stream {} window {k}: label",
+                stream.id
+            );
+            assert!(
+                result.prediction.logits.approx_eq(&offline.logits, 0.0),
+                "stream {} window {k}: streamed logits must be bit-for-bit offline",
+                stream.id
+            );
+            assert_eq!(result.smoothed, offline.label, "Smoothing::Off is raw");
+        }
+    }
+}
+
+/// Replays the raw label sequence through the documented
+/// hysteresis-1 event semantics: an event on the first window and on
+/// every label change.
+fn expected_raw_events(
+    stream: usize,
+    hop: usize,
+    labels: &[usize],
+) -> Vec<(usize, usize, Option<usize>, usize)> {
+    let mut events = Vec::new();
+    let mut active: Option<usize> = None;
+    for (k, &label) in labels.iter().enumerate() {
+        if active != Some(label) {
+            events.push((stream, k, active, label));
+            active = Some(label);
+        }
+    }
+    events
+        .into_iter()
+        .map(|(s, k, from, to)| (s, k * hop + T - 1, from, to))
+        .collect()
+}
+
+/// The headline guarantee, algorithmic backend: N concurrent streams
+/// through a replicated, dynamically-batching server produce exactly the
+/// offline per-window predictions, and the raw event stream is exactly
+/// the label-change sequence of those predictions.
+#[test]
+fn streamed_windows_match_offline_inference_exactly() {
+    let workload = workload();
+    let reference = offline_reference(
+        Pipeline::builder(model()).build().expect("assembly"),
+        &workload,
+    );
+
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(2)
+        .with_queue_depth(32)
+        .with_batch_policy(BatchPolicy::new(4, Duration::from_millis(2)))
+        .build()
+        .expect("server assembly");
+    let mut runner = StreamRunner::new(&server);
+    for (video, hop) in &workload {
+        runner.add_stream(ReplaySource::new(video.clone()), raw_config(*hop));
+    }
+    assert_eq!(runner.streams(), 4);
+    let report = runner.run().expect("streaming run");
+
+    assert_streams_match(&report, &reference);
+
+    // Events are the raw label-change sequence, stamped with the frame
+    // that confirmed them.
+    for ((stream, expected), (_, hop)) in report.streams.iter().zip(&reference).zip(&workload) {
+        let labels: Vec<usize> = expected.iter().map(|p| p.label).collect();
+        let want = expected_raw_events(stream.id, *hop, &labels);
+        let got: Vec<(usize, usize, Option<usize>, usize)> = stream
+            .events
+            .iter()
+            .map(|e| (e.stream, e.at_frame, e.from, e.to))
+            .collect();
+        assert_eq!(got, want, "stream {}", stream.id);
+        assert_eq!(stream.stats.events, want.len() as u64);
+    }
+
+    // Accounting is conserved per stream and in aggregate.
+    let agg = &report.aggregate;
+    assert_eq!(agg.frames, (4 * FRAMES) as u64);
+    let expected_windows: u64 = workload
+        .iter()
+        .map(|(_, hop)| ((FRAMES - T) / hop + 1) as u64)
+        .sum();
+    assert_eq!(agg.windows, expected_windows);
+    assert_eq!(agg.inferred, expected_windows);
+    assert_eq!(agg.shed + agg.expired, 0);
+    assert_eq!(agg.latency.samples, expected_windows);
+    assert_eq!(agg.service_ratio(), 1.0);
+    assert!(report.windows_per_sec() > 0.0);
+
+    // The server really did serve all of it.
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, expected_windows);
+}
+
+/// The same guarantee on the deployment path: windows pass through the
+/// simulated charge-domain sensor and a noiseless readout, replicated
+/// per worker — still bit-for-bit the offline hardware pipeline.
+#[test]
+fn hardware_backed_streaming_matches_offline_hardware_inference() {
+    let workload = workload();
+    let reference = offline_reference(
+        Pipeline::builder(model())
+            .with_hardware_sensor(ReadoutConfig::noiseless(12, 4.0))
+            .expect("sensor assembly")
+            .build()
+            .expect("assembly"),
+        &workload,
+    );
+
+    let recipe = Pipeline::builder(model())
+        .with_hardware_sensor(ReadoutConfig::noiseless(12, 4.0))
+        .expect("sensor assembly");
+    let server = Server::builder(recipe)
+        .with_workers(2)
+        .build()
+        .expect("server assembly");
+    let mut runner = StreamRunner::new(&server);
+    for (video, hop) in &workload {
+        runner.add_stream(ReplaySource::new(video.clone()), raw_config(*hop));
+    }
+    let report = runner.run().expect("streaming run");
+    assert_streams_match(&report, &reference);
+}
+
+/// Saturate a one-slot server (a parked worker holds its batch open, so
+/// the single queue slot stays occupied) and require each overload
+/// policy's behaviour to be exactly deterministic.
+#[test]
+fn overload_policies_are_deterministic_under_a_saturated_server() {
+    let (video, hop) = (&workload()[0].0, 3);
+    let windows = (FRAMES - T) / hop + 1; // 12
+
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(1)
+        // max_batch far above what we submit + a huge delay parks the
+        // worker holding its batch open; the dummy below then occupies
+        // the only queue slot for the whole test.
+        .with_batch_policy(BatchPolicy::new(64, Duration::from_secs(30)))
+        .build()
+        .expect("server assembly");
+    let dummy = server
+        .submit(&Tensor::zeros(&[T, HW, HW]))
+        .expect("the slot was free");
+
+    // SkipWindow: every window is shed at admission, in order.
+    let mut session = StreamSession::new(
+        0,
+        &server,
+        raw_config(hop).with_overload(OverloadPolicy::SkipWindow),
+    )
+    .expect("session");
+    for i in 0..FRAMES {
+        session.push(&video.frame(i).expect("frame")).expect("push");
+    }
+    let report = session.finish().expect("finish");
+    assert_eq!(report.stats.windows, windows as u64);
+    assert_eq!(report.stats.inferred, 0);
+    assert_eq!(report.stats.shed, windows as u64);
+    assert_eq!(report.stats.expired, 0);
+    assert!(report.results.is_empty());
+    assert!(report.events.is_empty());
+    assert_eq!(
+        report.dropped,
+        (0..windows)
+            .map(|i| (i, DropReason::Shed))
+            .collect::<Vec<_>>()
+    );
+
+    // DropOldest(pending = 2): the buffer holds the two freshest
+    // windows; every older one is displaced in arrival order, and the
+    // final two are shed at finish (the policy never blocks).
+    let mut session = StreamSession::new(
+        1,
+        &server,
+        raw_config(hop).with_overload(OverloadPolicy::DropOldest { pending: 2 }),
+    )
+    .expect("session");
+    for i in 0..FRAMES {
+        session.push(&video.frame(i).expect("frame")).expect("push");
+    }
+    let report = session.finish().expect("finish");
+    assert_eq!(report.stats.shed, windows as u64);
+    assert_eq!(report.stats.inferred, 0);
+    assert_eq!(
+        report.dropped,
+        (0..windows)
+            .map(|i| (i, DropReason::Shed))
+            .collect::<Vec<_>>(),
+        "oldest-first displacement, then the final buffered pair"
+    );
+
+    // Unpark: shutdown flushes the parked batch and answers the dummy.
+    drop(server);
+    assert!(dummy.wait().is_ok(), "the parked request is still served");
+}
+
+/// Per-window deadlines expire queued windows server-side and are
+/// accounted as `expired`, not `shed` — deterministically so for a
+/// zero deadline, which is already stale when a worker claims it.
+#[test]
+fn zero_deadline_expires_every_window() {
+    let (video, hop) = (&workload()[1].0, T);
+    let windows = (FRAMES - T) / hop + 1;
+
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .build()
+        .expect("server assembly");
+    let mut session = StreamSession::new(0, &server, raw_config(hop).with_deadline(Duration::ZERO))
+        .expect("session");
+    for i in 0..FRAMES {
+        session.push(&video.frame(i).expect("frame")).expect("push");
+    }
+    let report = session.finish().expect("finish");
+    assert_eq!(report.stats.windows, windows as u64);
+    assert_eq!(report.stats.expired, windows as u64);
+    assert_eq!(report.stats.inferred + report.stats.shed, 0);
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, windows as u64);
+    assert_eq!(stats.completed, 0);
+}
+
+/// Misconfiguration is rejected at session construction, and the
+/// runner propagates it.
+#[test]
+fn mismatched_window_length_is_rejected_up_front() {
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .build()
+        .expect("server assembly");
+    let err = StreamSession::new(0, &server, SessionConfig::new(T + 1, 1));
+    assert!(matches!(err, Err(StreamError::Config { .. })));
+
+    let mut runner = StreamRunner::new(&server);
+    let video = workload()[0].0.clone();
+    runner.add_stream(ReplaySource::new(video), SessionConfig::new(T + 1, 1));
+    let err = runner.run();
+    assert!(matches!(err, Err(StreamError::Config { .. })));
+
+    // And the unified error face works one layer up.
+    let unified: snappix::Error = err.expect_err("config error").into();
+    assert!(matches!(unified, snappix::Error::Stream(_)));
+}
+
+/// Real-time pacing feeds frames on schedule: a short 2-stream run at a
+/// brisk rate still infers every window (this is a smoke test of the
+/// pacing path, not a latency assertion — CI machines are noisy).
+#[test]
+fn real_time_pacing_serves_every_window_when_unloaded() {
+    let data = Dataset::new(ssv2_like(12, HW, HW), 2);
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .build()
+        .expect("server assembly");
+    let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(500.0));
+    for i in 0..2 {
+        runner.add_stream(
+            ReplaySource::new(data.sample(i).video),
+            SessionConfig::new(T, 2),
+        );
+    }
+    let report = runner.run().expect("run");
+    assert_eq!(report.aggregate.frames, 24);
+    assert_eq!(report.aggregate.windows, report.aggregate.inferred);
+    assert!(report.wall >= Duration::from_millis(20), "pacing slept");
+}
+
+/// Compile-time pin: the whole streaming object graph crosses threads.
+#[test]
+fn streaming_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<StreamSession<'static>>();
+    assert_send::<StreamRunner<'static>>();
+    assert_send::<ReplaySource>();
+    assert_send::<SyntheticSource>();
+    assert_send::<StreamError>();
+    assert_send::<RunReport>();
+}
