@@ -1,0 +1,97 @@
+//! Gateway-layer errors: socket setup and configuration failures, plus
+//! the bridge into the umbrella [`snappix::Error`].
+
+use std::fmt;
+
+/// Everything that can go wrong standing up or tearing down a
+/// [`Gateway`](crate::Gateway).
+///
+/// Per-request failures never surface here — they are answered on the
+/// wire as HTTP status codes (400/413/429/503/504) so a misbehaving
+/// client cannot take the front-end down. The enum is
+/// `#[non_exhaustive]`: the gateway can grow failure modes (e.g. TLS
+/// setup) without a breaking release.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// Binding or configuring the listening socket failed.
+    Bind {
+        /// The address that was requested plus the OS error.
+        context: String,
+    },
+    /// The builder was given an unusable configuration.
+    Config {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// Spawning a gateway thread failed.
+    Spawn {
+        /// Which thread, plus the OS error.
+        context: String,
+    },
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Bind { context } => write!(f, "gateway bind failed: {context}"),
+            GatewayError::Config { context } => write!(f, "gateway misconfigured: {context}"),
+            GatewayError::Spawn { context } => write!(f, "gateway thread spawn failed: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<GatewayError> for snappix::Error {
+    fn from(e: GatewayError) -> Self {
+        snappix::Error::Gateway(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases = [
+            (
+                GatewayError::Bind {
+                    context: "127.0.0.1:80: permission denied".into(),
+                }
+                .to_string(),
+                "permission denied",
+            ),
+            (
+                GatewayError::Config {
+                    context: "rate limit of 0 rps".into(),
+                }
+                .to_string(),
+                "0 rps",
+            ),
+            (
+                GatewayError::Spawn {
+                    context: "acceptor: EAGAIN".into(),
+                }
+                .to_string(),
+                "acceptor",
+            ),
+        ];
+        for (display, needle) in cases {
+            assert!(display.contains(needle), "{display} should name {needle}");
+        }
+    }
+
+    #[test]
+    fn converts_into_the_umbrella_error() {
+        let unified: snappix::Error = GatewayError::Bind {
+            context: "in use".into(),
+        }
+        .into();
+        assert!(matches!(unified, snappix::Error::Gateway(_)));
+        assert!(unified.to_string().contains("in use"));
+        let source = std::error::Error::source(&unified).expect("chained");
+        assert!(source.downcast_ref::<GatewayError>().is_some());
+    }
+}

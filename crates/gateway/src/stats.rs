@@ -1,0 +1,363 @@
+//! Gateway telemetry: connection/request/byte counters and per-endpoint
+//! latency percentiles, snapshotted as [`GatewayStats`].
+
+use snappix_serve::LatencySummary;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Per-endpoint latency windows match the serving layer's sizing: the
+/// percentiles track *current* behaviour, the counters are all-time.
+const LATENCY_WINDOW: usize = 4096;
+
+/// The gateway's routable endpoints, used as the `endpoint` label on
+/// every request metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// `POST /v1/classify` — binary clip in, prediction out.
+    Classify,
+    /// `GET /health` — liveness probe.
+    Health,
+    /// `GET /stats` — human-readable telemetry dump.
+    Stats,
+    /// `GET /metrics` — Prometheus text exposition.
+    Metrics,
+    /// Anything else: unknown paths, wrong methods, unparseable
+    /// requests.
+    Other,
+}
+
+impl Endpoint {
+    /// The `endpoint` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Classify => "classify",
+            Endpoint::Health => "health",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How many requests one `(endpoint, status)` pair has answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestCount {
+    /// Which endpoint answered.
+    pub endpoint: Endpoint,
+    /// The HTTP status it answered with.
+    pub status: u16,
+    /// All-time count.
+    pub count: u64,
+}
+
+/// Latency of one endpoint's answered requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointLatency {
+    /// Which endpoint.
+    pub endpoint: Endpoint,
+    /// Sliding-window percentiles plus the all-time sample count (same
+    /// semantics as the serving layer's summaries).
+    pub summary: LatencySummary,
+    /// All-time total time spent answering (a Prometheus summary's
+    /// `_sum`).
+    pub total: Duration,
+}
+
+/// A point-in-time snapshot of a [`Gateway`](crate::Gateway)'s
+/// telemetry, from [`Gateway::stats`](crate::Gateway::stats).
+///
+/// Request latency here is *wire latency* — from the last header byte
+/// parsed to the response flushed — so for classify it wraps the whole
+/// serve-side queue + batch + compute round trip plus body decode and
+/// response encode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayStats {
+    /// TCP connections accepted (all-time).
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: usize,
+    /// Connections turned away at the `max_connections` cap.
+    pub connections_rejected: u64,
+    /// Requests answered, by `(endpoint, status)`, in ascending order.
+    pub requests: Vec<RequestCount>,
+    /// Classify requests shed by the per-client rate limiter (each also
+    /// counts as a `(classify, 429)` request).
+    pub rate_limited: u64,
+    /// Request bytes read off the wire (heads + bodies).
+    pub bytes_read: u64,
+    /// Response bytes written to the wire.
+    pub bytes_written: u64,
+    /// Per-endpoint request latency, ascending by endpoint; endpoints
+    /// that have answered nothing are omitted.
+    pub latency: Vec<EndpointLatency>,
+    /// Time since the gateway started listening.
+    pub uptime: Duration,
+}
+
+impl GatewayStats {
+    /// All requests answered, across endpoints and statuses.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.iter().map(|r| r.count).sum()
+    }
+
+    /// Requests answered by `endpoint` (summed over statuses).
+    pub fn requests_to(&self, endpoint: Endpoint) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| r.endpoint == endpoint)
+            .map(|r| r.count)
+            .sum()
+    }
+
+    /// Requests answered with `status` (summed over endpoints).
+    pub fn requests_with_status(&self, status: u16) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| r.status == status)
+            .map(|r| r.count)
+            .sum()
+    }
+}
+
+impl fmt::Display for GatewayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} requests over {} connections in {:.2?} ({} active, {} rejected, {} rate-limited)",
+            self.requests_total(),
+            self.connections,
+            self.uptime,
+            self.active_connections,
+            self.connections_rejected,
+            self.rate_limited,
+        )?;
+        writeln!(
+            f,
+            "bytes: {} in, {} out",
+            self.bytes_read, self.bytes_written
+        )?;
+        for r in &self.requests {
+            writeln!(f, "  {} {}: {}", r.endpoint, r.status, r.count)?;
+        }
+        for (i, l) in self.latency.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "  {} latency: p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?}",
+                l.endpoint, l.summary.p50, l.summary.p95, l.summary.p99, l.summary.max,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded sliding latency window that also keeps the all-time sum
+/// (for Prometheus summary `_sum`/`_count`).
+#[derive(Debug, Default)]
+struct Window {
+    recent: VecDeque<Duration>,
+    seen: u64,
+    total: Duration,
+}
+
+impl Window {
+    fn record(&mut self, sample: Duration) {
+        if self.recent.len() == LATENCY_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(sample);
+        self.seen += 1;
+        self.total += sample;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: u64,
+    active_connections: usize,
+    connections_rejected: u64,
+    requests: BTreeMap<(Endpoint, u16), u64>,
+    rate_limited: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    latency: BTreeMap<Endpoint, Window>,
+}
+
+/// The internally-locked recorder connection handlers write into.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    started: Instant,
+    counters: Mutex<Counters>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder {
+            started: Instant::now(),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn record_connection(&self) {
+        let mut c = self.lock();
+        c.connections += 1;
+        c.active_connections += 1;
+    }
+
+    pub fn record_disconnect(&self) {
+        let mut c = self.lock();
+        c.active_connections = c.active_connections.saturating_sub(1);
+    }
+
+    pub fn record_connection_rejected(&self) {
+        self.lock().connections_rejected += 1;
+    }
+
+    pub fn record_rate_limited(&self) {
+        self.lock().rate_limited += 1;
+    }
+
+    /// One answered request: who answered, with what status, the bytes
+    /// both ways, and the wire latency.
+    pub fn record_request(
+        &self,
+        endpoint: Endpoint,
+        status: u16,
+        bytes_read: u64,
+        bytes_written: u64,
+        latency: Duration,
+    ) {
+        let mut c = self.lock();
+        *c.requests.entry((endpoint, status)).or_insert(0) += 1;
+        c.bytes_read += bytes_read;
+        c.bytes_written += bytes_written;
+        c.latency.entry(endpoint).or_default().record(latency);
+    }
+
+    pub fn snapshot(&self) -> GatewayStats {
+        // Copy out under the lock; rank percentiles after releasing it.
+        let (mut stats, windows) = {
+            let c = self.lock();
+            (
+                GatewayStats {
+                    connections: c.connections,
+                    active_connections: c.active_connections,
+                    connections_rejected: c.connections_rejected,
+                    requests: c
+                        .requests
+                        .iter()
+                        .map(|(&(endpoint, status), &count)| RequestCount {
+                            endpoint,
+                            status,
+                            count,
+                        })
+                        .collect(),
+                    rate_limited: c.rate_limited,
+                    bytes_read: c.bytes_read,
+                    bytes_written: c.bytes_written,
+                    latency: Vec::new(),
+                    uptime: self.started.elapsed(),
+                },
+                c.latency
+                    .iter()
+                    .map(|(&endpoint, w)| {
+                        (
+                            endpoint,
+                            w.recent.iter().copied().collect::<Vec<_>>(),
+                            w.seen,
+                            w.total,
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        stats.latency = windows
+            .into_iter()
+            .map(|(endpoint, recent, seen, total)| EndpointLatency {
+                endpoint,
+                summary: LatencySummary {
+                    samples: seen,
+                    ..LatencySummary::from_samples(&recent)
+                },
+                total,
+            })
+            .collect();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_every_counter() {
+        let r = Recorder::new();
+        r.record_connection();
+        r.record_connection();
+        r.record_disconnect();
+        r.record_connection_rejected();
+        r.record_rate_limited();
+        r.record_request(Endpoint::Classify, 200, 4096, 120, Duration::from_millis(3));
+        r.record_request(Endpoint::Classify, 200, 4096, 120, Duration::from_millis(5));
+        r.record_request(Endpoint::Classify, 429, 64, 40, Duration::from_micros(20));
+        r.record_request(Endpoint::Health, 200, 30, 50, Duration::from_micros(10));
+        let s = r.snapshot();
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.active_connections, 1);
+        assert_eq!(s.connections_rejected, 1);
+        assert_eq!(s.rate_limited, 1);
+        assert_eq!(s.bytes_read, 4096 + 4096 + 64 + 30);
+        assert_eq!(s.bytes_written, 120 + 120 + 40 + 50);
+        assert_eq!(s.requests_total(), 4);
+        assert_eq!(s.requests_to(Endpoint::Classify), 3);
+        assert_eq!(s.requests_with_status(200), 3);
+        assert_eq!(s.requests_with_status(429), 1);
+        let classify = s
+            .latency
+            .iter()
+            .find(|l| l.endpoint == Endpoint::Classify)
+            .expect("classify latency tracked");
+        assert_eq!(classify.summary.samples, 3);
+        assert_eq!(classify.summary.max, Duration::from_millis(5));
+        assert_eq!(
+            classify.total,
+            Duration::from_millis(8) + Duration::from_micros(20)
+        );
+        assert!(s.latency.iter().all(|l| l.endpoint != Endpoint::Metrics));
+
+        let text = s.to_string();
+        assert!(text.contains("classify 200: 2"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("1 rate-limited"), "{text}");
+    }
+
+    #[test]
+    fn endpoint_labels_are_stable() {
+        let all = [
+            (Endpoint::Classify, "classify"),
+            (Endpoint::Health, "health"),
+            (Endpoint::Stats, "stats"),
+            (Endpoint::Metrics, "metrics"),
+            (Endpoint::Other, "other"),
+        ];
+        for (endpoint, label) in all {
+            assert_eq!(endpoint.as_str(), label);
+            assert_eq!(endpoint.to_string(), label);
+        }
+    }
+}

@@ -55,6 +55,14 @@ impl LatencySummary {
             max: *sorted.last().expect("non-empty"),
         }
     }
+
+    /// The summary's percentiles as `(quantile, value)` pairs, in
+    /// ascending quantile order — the exportable form consumed by
+    /// metrics encoders (e.g. the gateway's Prometheus `/metrics`
+    /// endpoint, where each pair becomes one `{quantile="..."}` sample).
+    pub fn quantiles(&self) -> [(f64, Duration); 3] {
+        [(0.5, self.p50), (0.95, self.p95), (0.99, self.p99)]
+    }
 }
 
 /// A point-in-time snapshot of a [`Server`](crate::Server)'s telemetry,
@@ -107,13 +115,86 @@ impl ServerStats {
         if self.batches == 0 {
             return 0.0;
         }
-        let clips: u64 = self
-            .batch_sizes
+        self.clips_batched() as f64 / self.batches as f64
+    }
+
+    /// Total clips that rode in executed batches (the batch-size
+    /// histogram's weighted sum). Every such clip was answered — with a
+    /// prediction or a batch failure — so this always equals
+    /// `completed + failed`.
+    pub fn clips_batched(&self) -> u64 {
+        self.batch_sizes
             .iter()
             .enumerate()
             .map(|(size, &count)| size as u64 * count)
-            .sum();
-        clips as f64 / self.batches as f64
+            .sum()
+    }
+
+    /// Requests admitted but not yet resolved: queued, riding in a
+    /// running batch, or claimed-but-unanswered at snapshot time.
+    ///
+    /// Saturating: a conservation violation can never make this wrap,
+    /// so call [`check_conserved`](Self::check_conserved) when drift
+    /// must be *detected* rather than hidden.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.completed + self.expired + self.failed)
+    }
+
+    /// Verifies the snapshot's conserved-accounting invariants,
+    /// returning the in-flight count on success:
+    ///
+    /// * every resolved request was first admitted
+    ///   (`completed + expired + failed <= submitted`), and
+    /// * every clip that rode an executed batch was resolved as exactly
+    ///   one of completed/failed
+    ///   (`clips_batched() == completed + failed`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant with both
+    /// sides of the failed equation — the payload for
+    /// [`debug_assert_conserved`](Self::debug_assert_conserved) and for
+    /// operators alerting on a drifting metrics page.
+    pub fn check_conserved(&self) -> Result<u64, String> {
+        let resolved = self.completed + self.expired + self.failed;
+        if resolved > self.submitted {
+            return Err(format!(
+                "accounting drift: completed {} + expired {} + failed {} = {} \
+                 exceeds submitted {}",
+                self.completed, self.expired, self.failed, resolved, self.submitted
+            ));
+        }
+        let batched = self.clips_batched();
+        if batched != self.completed + self.failed {
+            return Err(format!(
+                "accounting drift: batch-size histogram holds {} clips but \
+                 completed {} + failed {} = {}",
+                batched,
+                self.completed,
+                self.failed,
+                self.completed + self.failed
+            ));
+        }
+        Ok(self.submitted - resolved)
+    }
+
+    /// Debug-asserts [`check_conserved`](Self::check_conserved): in
+    /// debug builds (and therefore in every test) a counter drift
+    /// panics at the telemetry surface that would have published it; in
+    /// release builds this is free and the page is served as-is.
+    ///
+    /// The gateway's `/stats` and `/metrics` handlers call this on
+    /// every snapshot they export, so a conservation regression
+    /// anywhere in the serving stack fails the integration suite
+    /// instead of silently mis-reporting to operators.
+    #[track_caller]
+    pub fn debug_assert_conserved(&self) {
+        debug_assert!(
+            self.check_conserved().is_ok(),
+            "{}",
+            self.check_conserved().expect_err("checked")
+        );
     }
 }
 
@@ -339,6 +420,69 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("batches: 2"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn conservation_helpers_detect_drift() {
+        let r = Recorder::new();
+        for _ in 0..6 {
+            r.record_admitted();
+        }
+        r.record_batch(
+            &[Duration::from_millis(1); 4],
+            1,
+            3,
+            Some(Duration::from_millis(2)),
+        );
+        let healthy = r.snapshot(2);
+        assert_eq!(healthy.clips_batched(), 3);
+        assert_eq!(healthy.in_flight(), 2);
+        assert_eq!(healthy.check_conserved(), Ok(2));
+        healthy.debug_assert_conserved();
+
+        // Drift type 1: more resolutions than admissions.
+        let mut drifted = healthy.clone();
+        drifted.completed += 10;
+        drifted.batch_sizes[3] = 0;
+        drifted.batch_sizes.resize(14, 0);
+        drifted.batch_sizes[13] = 1;
+        assert_eq!(drifted.in_flight(), 0, "saturating, never wrapping");
+        let err = drifted.check_conserved().expect_err("over-resolved");
+        assert!(err.contains("exceeds submitted"), "{err}");
+
+        // Drift type 2: histogram disagrees with the outcome counters.
+        let mut skewed = healthy;
+        skewed.batch_sizes[3] = 2;
+        let err = skewed.check_conserved().expect_err("histogram drift");
+        assert!(err.contains("histogram"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "accounting drift")]
+    fn debug_assert_conserved_panics_on_drift_in_debug_builds() {
+        let mut s = Recorder::new().snapshot(0);
+        s.completed = 1; // never admitted
+        if cfg!(debug_assertions) {
+            s.debug_assert_conserved();
+        } else {
+            // Release builds compile the assert out; satisfy the
+            // should_panic expectation explicitly.
+            panic!("accounting drift checks are debug-only");
+        }
+    }
+
+    #[test]
+    fn quantiles_export_in_ascending_order() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let q = LatencySummary::from_samples(&samples).quantiles();
+        assert_eq!(
+            q,
+            [
+                (0.5, Duration::from_millis(50)),
+                (0.95, Duration::from_millis(95)),
+                (0.99, Duration::from_millis(99)),
+            ]
+        );
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub enum Error {
     /// the original error stays reachable via
     /// [`std::error::Error::source`] / downcasting.
     Stream(Box<dyn std::error::Error + Send + Sync>),
+    /// The network front-end failed (socket bind, gateway thread spawn,
+    /// or misconfiguration).
+    ///
+    /// Boxed for the same reason as [`Serve`](Self::Serve): the gateway
+    /// crate (`snappix-gateway`) sits above this umbrella crate and
+    /// provides `From<GatewayError> for Error` through this variant; the
+    /// original error stays reachable via
+    /// [`std::error::Error::source`] / downcasting.
+    Gateway(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl fmt::Display for Error {
@@ -61,6 +70,7 @@ impl fmt::Display for Error {
             Error::Pipeline { context } => write!(f, "pipeline error: {context}"),
             Error::Serve(e) => write!(f, "serve error: {e}"),
             Error::Stream(e) => write!(f, "stream error: {e}"),
+            Error::Gateway(e) => write!(f, "gateway error: {e}"),
         }
     }
 }
@@ -77,6 +87,7 @@ impl std::error::Error for Error {
             Error::Pipeline { .. } => None,
             Error::Serve(e) => Some(e.as_ref()),
             Error::Stream(e) => Some(e.as_ref()),
+            Error::Gateway(e) => Some(e.as_ref()),
         }
     }
 }
@@ -170,5 +181,12 @@ mod tests {
         }));
         assert!(st.to_string().starts_with("stream error:"));
         assert!(std::error::Error::source(&st).is_some());
+
+        // And so does the network front-end.
+        let g = Error::Gateway(Box::new(snappix_tensor::TensorError::InvalidArgument {
+            context: "bind".into(),
+        }));
+        assert!(g.to_string().starts_with("gateway error:"));
+        assert!(std::error::Error::source(&g).is_some());
     }
 }
