@@ -1,0 +1,120 @@
+//! Criterion macrobench: the `snappix-fleet` event-driven simulator at
+//! fleet scale — the acceptance measurement for the fleet subsystem
+//! (numbers recorded in BENCHMARKS.md).
+//!
+//! One configuration per fleet size (8 / 64 / 256 / 1024 nodes), all
+//! over the same one-worker server with greedy batch-8 dynamic batching
+//! (one worker isolates event-loop + batching throughput from replica
+//! parallelism, which a 1-core container could not show anyway). Each
+//! node replays a pre-rendered 20-frame `16x16` video windowed at
+//! `T = 8` / hop 4 (4 windows per node) under the mixed energy
+//! personalities of `examples/fleet.rs` — a quarter mains-powered, the
+//! rest battery-backed with varying harvest — so the duty-cycle ladder
+//! and the energy ledger are live in the measured loop, exactly as they
+//! would be in a real deployment sweep.
+//!
+//! Alongside the criterion timing, each size logs a one-shot telemetry
+//! line: wall-clock windows/s through the simulator, energy per
+//! inference, and the server's achieved mean batch — the fleet-scaling
+//! numbers the BENCHMARKS.md table quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snappix_fleet::prelude::*;
+
+const T: usize = 8;
+const HOP: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+const FRAMES: usize = 20;
+const DRIVERS: usize = 4;
+
+fn model() -> SnapPixAr {
+    let mask = patterns::long_exposure(T, (8, 8)).expect("valid mask");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("geometry")
+}
+
+fn videos(nodes: usize) -> Vec<Video> {
+    let data = Dataset::new(ssv2_like(FRAMES, HW, HW), nodes);
+    (0..nodes).map(|i| data.sample(i).video).collect()
+}
+
+fn node_config(i: usize, cost: f64) -> NodeConfig {
+    // Battery reserves worth only ~2 inferences, so the ladder engages
+    // inside the short benched run and the energy path stays live.
+    let budget = match i % 4 {
+        0 => EnergyBudget::unbounded(),
+        1 => EnergyBudget::new(cost * 2.0),
+        2 => EnergyBudget::new(cost * 2.0).with_harvest(cost * 20.0),
+        _ => EnergyBudget::new(cost * 2.0).with_harvest(cost * 4.0),
+    };
+    NodeConfig::new(T, HOP)
+        .with_fps(30.0)
+        .with_budget(budget)
+        .with_smoothing(Smoothing::Majority { k: 3 })
+        .with_sleep_cost(cost * 0.01)
+}
+
+fn run_fleet(server: &Server, videos: &[Video], cost: f64) -> FleetReport {
+    let mut sim = FleetSim::new(server).with_drivers(DRIVERS);
+    for (i, video) in videos.iter().enumerate() {
+        sim.add_node(ReplaySource::new(video.clone()), node_config(i, cost))
+            .expect("valid node");
+    }
+    sim.run().expect("fleet run")
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let cost = EnergyModel::paper()
+        .snappix_energy(&Scenario {
+            frame_pixels: HW * HW,
+            slots: T,
+            wireless: Wireless::PassiveWifi,
+        })
+        .total_pj();
+    let windows_per_node = (FRAMES - T) / HOP + 1;
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    for nodes in [8usize, 64, 256, 1024] {
+        let videos = videos(nodes);
+        let server = Server::builder(Pipeline::builder(model()))
+            .with_workers(1)
+            .with_queue_depth(64)
+            .with_batch_policy(BatchPolicy::greedy(8))
+            .build()
+            .expect("server assembly");
+
+        // One-shot telemetry outside the timed loop.
+        let report = run_fleet(&server, &videos, cost);
+        assert!(report.check_conserved(), "ledgers balance at {nodes} nodes");
+        eprintln!(
+            "fleet telemetry: {nodes} nodes x {windows_per_node} windows -> \
+             {} inferred / {} shed / {} slept in {:.1} ms wall \
+             ({:.0} windows/s through the simulator, {:.0} pJ/inference)",
+            report.stats.inferred,
+            report.stats.shed,
+            report.stats.slept,
+            report.wall.as_secs_f64() * 1e3,
+            report.stats.windows as f64 / report.wall.as_secs_f64(),
+            report.stats.energy_per_inference_pj(),
+        );
+
+        group.bench_function(format!("sim{nodes}x{windows_per_node}_{HW}x{HW}"), |b| {
+            b.iter(|| run_fleet(&server, &videos, cost).stats.inferred)
+        });
+
+        let stats = server.shutdown();
+        eprintln!(
+            "fleet telemetry: {nodes} nodes server totals: {} requests in {} batches \
+             (mean batch {:.2})",
+            stats.completed,
+            stats.batches,
+            stats.mean_batch_size()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

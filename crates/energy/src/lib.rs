@@ -39,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod digital;
 mod gpu;
 mod model;
 
+pub use budget::EnergyBudget;
 pub use digital::DigitalCompressor;
 pub use gpu::{EdgeGpuScenario, GpuModelClass, JetsonXavierModel};
 pub use model::{EnergyBreakdown, EnergyModel, Scenario, Wireless};

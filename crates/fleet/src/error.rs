@@ -1,0 +1,110 @@
+//! Fleet-layer errors, plus the bridge into the umbrella
+//! [`snappix::Error`].
+
+use snappix_serve::ServeError;
+use snappix_stream::StreamError;
+use std::fmt;
+
+/// Everything that can go wrong assembling or running a fleet
+/// simulation.
+///
+/// Duty-cycling *outcomes* — a window shed under a drained budget, a
+/// node sleeping through a window — are not errors: they are counted in
+/// [`NodeStats`](crate::NodeStats) and recorded in the event trace. This
+/// enum covers genuine failures: node misconfiguration, a frame source
+/// or window assembler failing, or a serving failure no policy covers.
+///
+/// The enum is `#[non_exhaustive]`: the fleet layer can grow failure
+/// modes without a breaking release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A node or the simulator was misconfigured (window geometry that
+    /// does not match the server's model, a bad frame rate, a
+    /// non-monotone duty-cycle ladder, an unsupported overload
+    /// policy, ...).
+    Config {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// The per-node streaming machinery failed (frame source, window
+    /// assembly).
+    Stream(StreamError),
+    /// The serving layer failed in a way no policy covers (batch
+    /// inference error, worker death, shutdown mid-run).
+    Serve(ServeError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config { context } => write!(f, "fleet misconfigured: {context}"),
+            FleetError::Stream(e) => write!(f, "node streaming failure: {e}"),
+            FleetError::Serve(e) => write!(f, "serving failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Stream(e) => Some(e),
+            FleetError::Serve(e) => Some(e),
+            FleetError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<StreamError> for FleetError {
+    fn from(e: StreamError) -> Self {
+        FleetError::Stream(e)
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+impl From<FleetError> for snappix::Error {
+    fn from(e: FleetError) -> Self {
+        snappix::Error::Fleet(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let c = FleetError::Config {
+            context: "ladder thresholds".into(),
+        };
+        assert!(c.to_string().contains("ladder thresholds"));
+        assert!(std::error::Error::source(&c).is_none());
+
+        let s = FleetError::Serve(ServeError::ShuttingDown);
+        assert!(s.to_string().contains("shutting down"));
+        assert!(std::error::Error::source(&s).is_some());
+
+        let st = FleetError::Stream(StreamError::Config {
+            context: "hop".into(),
+        });
+        assert!(st.to_string().contains("hop"));
+        assert!(std::error::Error::source(&st).is_some());
+    }
+
+    #[test]
+    fn converts_into_the_umbrella_error() {
+        let unified: snappix::Error = FleetError::Config {
+            context: "fps".into(),
+        }
+        .into();
+        assert!(matches!(unified, snappix::Error::Fleet(_)));
+        assert!(unified.to_string().contains("fps"));
+        let source = std::error::Error::source(&unified).expect("chained");
+        assert!(source.downcast_ref::<FleetError>().is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! The adaptive duty-cycle ladder: how a node trades inference for
+//! lifetime as its energy budget drains.
+//!
+//! A battery-backed sensor that keeps inferring at full rate dies early;
+//! one that sleeps too eagerly wastes harvest it could have spent on
+//! answers. The ladder is the middle path: a small ordered set of
+//! operating modes ([`DutyRung`]) and a pure, deterministic stepping
+//! rule ([`DutyCycle::step`]) that walks *one rung at a time* as the
+//! budget fraction crosses configured thresholds, with a hysteresis
+//! margin so a node hovering at a threshold does not flap between modes.
+
+use crate::FleetError;
+use std::fmt;
+
+/// One operating mode on the duty-cycle ladder, from most capable to
+/// most frugal. The simulator walks adjacent rungs only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DutyRung {
+    /// Every assembled window is inferred with the configured smoothing.
+    Full,
+    /// Only every `rate_divisor`-th window is inferred; the rest are
+    /// slept through. Smoothing is unchanged.
+    ReducedRate,
+    /// Reduced rate *and* smoothing switched to raw labels
+    /// ([`Smoothing::Off`](snappix_stream::Smoothing::Off)) — the
+    /// cheapest on-node post-processing.
+    LiteSmoothing,
+    /// Windows are captured but shed before readout: the node pays
+    /// exposure and CE pattern overhead, skips readout and transmission,
+    /// and gets no prediction.
+    Shed,
+    /// The node sleeps through windows entirely, spending only its
+    /// configured sleep cost, until harvest restores the budget.
+    Sleep,
+}
+
+impl DutyRung {
+    /// Position on the ladder: 0 = [`Full`](Self::Full) down to
+    /// 4 = [`Sleep`](Self::Sleep).
+    pub fn depth(self) -> usize {
+        match self {
+            DutyRung::Full => 0,
+            DutyRung::ReducedRate => 1,
+            DutyRung::LiteSmoothing => 2,
+            DutyRung::Shed => 3,
+            DutyRung::Sleep => 4,
+        }
+    }
+
+    fn from_depth(depth: usize) -> DutyRung {
+        match depth {
+            0 => DutyRung::Full,
+            1 => DutyRung::ReducedRate,
+            2 => DutyRung::LiteSmoothing,
+            3 => DutyRung::Shed,
+            _ => DutyRung::Sleep,
+        }
+    }
+}
+
+impl fmt::Display for DutyRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DutyRung::Full => "full",
+            DutyRung::ReducedRate => "reduced-rate",
+            DutyRung::LiteSmoothing => "lite-smoothing",
+            DutyRung::Shed => "shed",
+            DutyRung::Sleep => "sleep",
+        })
+    }
+}
+
+/// Threshold configuration of the duty-cycle ladder.
+///
+/// Each `*_below` value is the budget fraction (of capacity, in
+/// `(0, 1)`) below which the node belongs *at least* that deep on the
+/// ladder; they must be strictly decreasing. Recovery is hysteretic: a
+/// node steps back up only once its fraction exceeds the threshold that
+/// demoted it by `recover_margin`.
+///
+/// # Examples
+///
+/// ```
+/// use snappix_fleet::{DutyCycle, DutyRung};
+///
+/// let ladder = DutyCycle::default();
+/// // Draining: one rung at a time.
+/// assert_eq!(ladder.step(DutyRung::Full, 0.10), DutyRung::ReducedRate);
+/// assert_eq!(ladder.step(DutyRung::ReducedRate, 0.10), DutyRung::LiteSmoothing);
+/// // Hovering just above a crossed threshold does not flap back.
+/// assert_eq!(ladder.step(DutyRung::ReducedRate, 0.61), DutyRung::ReducedRate);
+/// assert_eq!(ladder.step(DutyRung::ReducedRate, 0.70), DutyRung::Full);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Below this fraction, at least [`DutyRung::ReducedRate`].
+    pub reduced_below: f64,
+    /// Below this fraction, at least [`DutyRung::LiteSmoothing`].
+    pub lite_below: f64,
+    /// Below this fraction, at least [`DutyRung::Shed`].
+    pub shed_below: f64,
+    /// Below this fraction, [`DutyRung::Sleep`].
+    pub sleep_below: f64,
+    /// Extra fraction required above a threshold before recovering past
+    /// it (hysteresis; ≥ 0).
+    pub recover_margin: f64,
+    /// At [`DutyRung::ReducedRate`] and deeper inference rungs, only
+    /// every `rate_divisor`-th window is inferred (≥ 2).
+    pub rate_divisor: u32,
+}
+
+impl Default for DutyCycle {
+    /// Thresholds 0.60 / 0.45 / 0.30 / 0.15 with a 0.05 recovery margin
+    /// and half rate when reduced.
+    fn default() -> Self {
+        DutyCycle {
+            reduced_below: 0.60,
+            lite_below: 0.45,
+            shed_below: 0.30,
+            sleep_below: 0.15,
+            recover_margin: 0.05,
+            rate_divisor: 2,
+        }
+    }
+}
+
+impl DutyCycle {
+    /// Checks the configuration, returning it for chaining.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] unless the four thresholds are strictly
+    /// decreasing within `(0, 1)`, the margin is finite and
+    /// non-negative, and the divisor is at least 2.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let t = [
+            self.reduced_below,
+            self.lite_below,
+            self.shed_below,
+            self.sleep_below,
+        ];
+        if t.iter().any(|v| !v.is_finite() || *v <= 0.0 || *v >= 1.0) {
+            return Err(FleetError::Config {
+                context: format!("duty-cycle thresholds must lie strictly inside (0, 1): {t:?}"),
+            });
+        }
+        if !(t[0] > t[1] && t[1] > t[2] && t[2] > t[3]) {
+            return Err(FleetError::Config {
+                context: format!("duty-cycle thresholds must be strictly decreasing: {t:?}"),
+            });
+        }
+        if !self.recover_margin.is_finite() || self.recover_margin < 0.0 {
+            return Err(FleetError::Config {
+                context: format!(
+                    "duty-cycle recover_margin must be finite and non-negative, got {}",
+                    self.recover_margin
+                ),
+            });
+        }
+        if self.rate_divisor < 2 {
+            return Err(FleetError::Config {
+                context: format!(
+                    "duty-cycle rate_divisor must be at least 2 (1 makes ReducedRate \
+                     indistinguishable from Full), got {}",
+                    self.rate_divisor
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The fraction below which a node belongs at least `depth` rungs
+    /// deep (depth 1..=4).
+    fn threshold(&self, depth: usize) -> f64 {
+        match depth {
+            1 => self.reduced_below,
+            2 => self.lite_below,
+            3 => self.shed_below,
+            _ => self.sleep_below,
+        }
+    }
+
+    /// The rung the fraction alone calls for, ignoring the current rung.
+    fn target(&self, fraction: f64) -> DutyRung {
+        if fraction < self.sleep_below {
+            DutyRung::Sleep
+        } else if fraction < self.shed_below {
+            DutyRung::Shed
+        } else if fraction < self.lite_below {
+            DutyRung::LiteSmoothing
+        } else if fraction < self.reduced_below {
+            DutyRung::ReducedRate
+        } else {
+            DutyRung::Full
+        }
+    }
+
+    /// One deterministic ladder step: from `current`, with the budget at
+    /// `fraction` of capacity, returns the rung for the next window —
+    /// at most one rung away from `current`.
+    ///
+    /// Draining moves down one rung whenever the fraction calls for a
+    /// deeper rung. Recovery moves up one rung only when the fraction
+    /// clears the current rung's entry threshold by `recover_margin`.
+    /// A pure function of `(self, current, fraction)` — no randomness,
+    /// no clocks — which is what makes fleet runs replayable.
+    pub fn step(&self, current: DutyRung, fraction: f64) -> DutyRung {
+        let depth = current.depth();
+        if self.target(fraction).depth() > depth {
+            return DutyRung::from_depth(depth + 1);
+        }
+        if depth > 0 && fraction >= self.threshold(depth) + self.recover_margin {
+            return DutyRung::from_depth(depth - 1);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_one_rung_at_a_time_to_sleep() {
+        let ladder = DutyCycle::default();
+        let mut rung = DutyRung::Full;
+        let walk: Vec<DutyRung> = (0..5)
+            .map(|_| {
+                rung = ladder.step(rung, 0.01);
+                rung
+            })
+            .collect();
+        assert_eq!(
+            walk,
+            vec![
+                DutyRung::ReducedRate,
+                DutyRung::LiteSmoothing,
+                DutyRung::Shed,
+                DutyRung::Sleep,
+                DutyRung::Sleep, // floor
+            ]
+        );
+    }
+
+    #[test]
+    fn recovers_one_rung_at_a_time_with_hysteresis() {
+        let ladder = DutyCycle::default();
+        // Entered Sleep below 0.15; 0.15 + margin 0.05 = 0.20 to leave.
+        assert_eq!(ladder.step(DutyRung::Sleep, 0.19), DutyRung::Sleep);
+        assert_eq!(ladder.step(DutyRung::Sleep, 0.21), DutyRung::Shed);
+        // Shed needs 0.30 + 0.05.
+        assert_eq!(ladder.step(DutyRung::Shed, 0.34), DutyRung::Shed);
+        assert_eq!(ladder.step(DutyRung::Shed, 0.36), DutyRung::LiteSmoothing);
+        // Full is the ceiling.
+        assert_eq!(ladder.step(DutyRung::Full, 1.0), DutyRung::Full);
+    }
+
+    #[test]
+    fn within_band_holds_steady() {
+        let ladder = DutyCycle::default();
+        // 0.50 sits in the ReducedRate band (0.45..0.60): entered from
+        // above it stays, and the +margin requirement blocks recovery
+        // until 0.65.
+        assert_eq!(
+            ladder.step(DutyRung::ReducedRate, 0.50),
+            DutyRung::ReducedRate
+        );
+        assert_eq!(
+            ladder.step(DutyRung::ReducedRate, 0.64),
+            DutyRung::ReducedRate
+        );
+        assert_eq!(ladder.step(DutyRung::ReducedRate, 0.65), DutyRung::Full);
+    }
+
+    #[test]
+    fn steep_drains_still_step_singly() {
+        // Even a budget that collapses from full to empty in one window
+        // walks the ladder rung by rung — no mode whiplash.
+        let ladder = DutyCycle::default();
+        assert_eq!(ladder.step(DutyRung::Full, 0.0), DutyRung::ReducedRate);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ladders() {
+        assert!(DutyCycle::default().validate().is_ok());
+        let cases = [
+            DutyCycle {
+                reduced_below: 0.45,
+                lite_below: 0.60, // not decreasing
+                ..DutyCycle::default()
+            },
+            DutyCycle {
+                sleep_below: 0.0, // not inside (0, 1)
+                ..DutyCycle::default()
+            },
+            DutyCycle {
+                reduced_below: 1.0, // not inside (0, 1)
+                ..DutyCycle::default()
+            },
+            DutyCycle {
+                recover_margin: -0.1,
+                ..DutyCycle::default()
+            },
+            DutyCycle {
+                recover_margin: f64::NAN,
+                ..DutyCycle::default()
+            },
+            DutyCycle {
+                rate_divisor: 1,
+                ..DutyCycle::default()
+            },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(bad.validate(), Err(FleetError::Config { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rungs_order_and_display() {
+        assert!(DutyRung::Full < DutyRung::Sleep);
+        let names: Vec<String> = [
+            DutyRung::Full,
+            DutyRung::ReducedRate,
+            DutyRung::LiteSmoothing,
+            DutyRung::Shed,
+            DutyRung::Sleep,
+        ]
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+        assert_eq!(
+            names,
+            vec!["full", "reduced-rate", "lite-smoothing", "shed", "sleep"]
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The deterministic event trace of a fleet run.
+
+use crate::DutyRung;
+use std::fmt;
+
+/// What happened to one window (or rung transition) on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The window was inferred; the raw predicted label.
+    Inferred {
+        /// The raw (unsmoothed) predicted label.
+        label: usize,
+    },
+    /// The window was captured but shed before readout (the
+    /// [`Shed`](DutyRung::Shed) rung, an unaffordable inference, or the
+    /// server declining admission under
+    /// [`SkipWindow`](snappix_stream::OverloadPolicy::SkipWindow)).
+    Shed,
+    /// The node slept through the window (the [`Sleep`](DutyRung::Sleep)
+    /// rung, a rate-skip at a reduced rung, or nothing left to spend).
+    Slept,
+    /// The window's deadline expired in the server queue.
+    Expired,
+    /// The node stepped the duty-cycle ladder.
+    Rung {
+        /// The rung before the step.
+        from: DutyRung,
+        /// The rung after the step.
+        to: DutyRung,
+    },
+}
+
+/// One entry in the fleet's merged event trace.
+///
+/// Traces are recorded per node in virtual-time order and merged sorted
+/// by `(at_us, node)` with per-node order preserved — a pure function of
+/// the fleet's seeds and configs, so a replayed run produces an
+/// identical trace whatever the driver-pool size, worker count, or
+/// `SNAPPIX_THREADS` setting (given replayable node configs; see
+/// [`NodeConfig::overload`](crate::NodeConfig::overload)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event in microseconds from run start.
+    pub at_us: u64,
+    /// The node the event belongs to.
+    pub node: usize,
+    /// The window index the event concerns (for
+    /// [`TraceKind::Rung`], the window whose outcome the new rung first
+    /// governs).
+    pub window: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>9} us] node {:>3} window {:>4}: ",
+            self.at_us, self.node, self.window
+        )?;
+        match self.kind {
+            TraceKind::Inferred { label } => write!(f, "inferred -> label {label}"),
+            TraceKind::Shed => write!(f, "shed"),
+            TraceKind::Slept => write!(f, "slept"),
+            TraceKind::Expired => write!(f, "expired"),
+            TraceKind::Rung { from, to } => write!(f, "rung {from} -> {to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_outcome() {
+        let base = TraceEvent {
+            at_us: 33_333,
+            node: 2,
+            window: 5,
+            kind: TraceKind::Inferred { label: 7 },
+        };
+        assert!(base.to_string().contains("label 7"));
+        let rung = TraceEvent {
+            kind: TraceKind::Rung {
+                from: DutyRung::Full,
+                to: DutyRung::ReducedRate,
+            },
+            ..base
+        };
+        assert!(rung.to_string().contains("full -> reduced-rate"));
+        for (kind, needle) in [
+            (TraceKind::Shed, "shed"),
+            (TraceKind::Slept, "slept"),
+            (TraceKind::Expired, "expired"),
+        ] {
+            assert!(TraceEvent { kind, ..base }.to_string().contains(needle));
+        }
+    }
+}

@@ -56,6 +56,15 @@ pub enum Error {
     /// original error stays reachable via
     /// [`std::error::Error::source`] / downcasting.
     Gateway(Box<dyn std::error::Error + Send + Sync>),
+    /// The fleet simulator failed (node misconfiguration, a driver
+    /// thread died, or a node's serving path errored).
+    ///
+    /// Boxed for the same reason as [`Serve`](Self::Serve): the fleet
+    /// crate (`snappix-fleet`) sits above this umbrella crate and
+    /// provides `From<FleetError> for Error` through this variant; the
+    /// original error stays reachable via
+    /// [`std::error::Error::source`] / downcasting.
+    Fleet(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl fmt::Display for Error {
@@ -71,6 +80,7 @@ impl fmt::Display for Error {
             Error::Serve(e) => write!(f, "serve error: {e}"),
             Error::Stream(e) => write!(f, "stream error: {e}"),
             Error::Gateway(e) => write!(f, "gateway error: {e}"),
+            Error::Fleet(e) => write!(f, "fleet error: {e}"),
         }
     }
 }
@@ -88,6 +98,7 @@ impl std::error::Error for Error {
             Error::Serve(e) => Some(e.as_ref()),
             Error::Stream(e) => Some(e.as_ref()),
             Error::Gateway(e) => Some(e.as_ref()),
+            Error::Fleet(e) => Some(e.as_ref()),
         }
     }
 }
@@ -188,5 +199,12 @@ mod tests {
         }));
         assert!(g.to_string().starts_with("gateway error:"));
         assert!(std::error::Error::source(&g).is_some());
+
+        // And the fleet simulator.
+        let fl = Error::Fleet(Box::new(snappix_tensor::TensorError::InvalidArgument {
+            context: "ladder".into(),
+        }));
+        assert!(fl.to_string().starts_with("fleet error:"));
+        assert!(std::error::Error::source(&fl).is_some());
     }
 }

@@ -46,14 +46,21 @@ impl fmt::Display for Event {
 /// Hysteresis state machine: a candidate label must persist for
 /// `hysteresis` consecutive windows before it becomes active and an
 /// [`Event`] fires. `hysteresis = 1` reacts to every smoothed change.
+///
+/// Public so schedulers other than
+/// [`StreamSession`](crate::StreamSession) (the fleet simulator's
+/// event-driven nodes, custom runners) can reuse the exact debouncing
+/// semantics.
 #[derive(Debug, Clone)]
-pub(crate) struct EventDetector {
+pub struct EventDetector {
     hysteresis: usize,
     active: Option<usize>,
     candidate: Option<(usize, usize)>, // (label, consecutive windows seen)
 }
 
 impl EventDetector {
+    /// A fresh detector requiring `hysteresis` consecutive windows
+    /// (clamped to at least 1) to confirm a label.
     pub fn new(hysteresis: usize) -> Self {
         EventDetector {
             hysteresis: hysteresis.max(1),

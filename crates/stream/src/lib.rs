@@ -51,7 +51,8 @@
 //!     .build()?;
 //!
 //! // Four live streams at 30 fps; skip windows rather than fall behind.
-//! let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(30.0));
+//! let mut runner = StreamRunner::new(&server)
+//!     .with_pacing(Pacing::fps(30.0).map_err(snappix::Error::from)?);
 //! for i in 0..4 {
 //!     runner.add_stream(
 //!         SyntheticSource::new(ssv2_like(32, 16, 16), 3),
@@ -82,13 +83,12 @@ mod stats;
 mod window;
 
 pub use error::StreamError;
-pub use event::Event;
-pub(crate) use event::EventDetector;
+pub use event::{Event, EventDetector};
 pub use runner::{Pacing, RunReport, StreamRunner};
 pub use session::{
     DropReason, OverloadPolicy, SessionConfig, StreamReport, StreamSession, WindowResult,
 };
-pub use smooth::Smoothing;
+pub use smooth::{Smoother, Smoothing};
 pub use stats::StreamStats;
 pub use window::WindowAssembler;
 
@@ -98,9 +98,9 @@ pub use window::WindowAssembler;
 pub mod prelude {
     pub use crate::FrameSource;
     pub use crate::{
-        DropReason, Event, OverloadPolicy, Pacing, ReplaySource, RunReport, SessionConfig,
-        Smoothing, StreamError, StreamReport, StreamRunner, StreamSession, StreamStats,
-        SyntheticSource, WindowAssembler, WindowResult,
+        DropReason, Event, EventDetector, OverloadPolicy, Pacing, ReplaySource, RunReport,
+        SessionConfig, Smoother, Smoothing, StreamError, StreamReport, StreamRunner, StreamSession,
+        StreamStats, SyntheticSource, WindowAssembler, WindowResult,
     };
     pub use snappix_serve::prelude::*;
 }

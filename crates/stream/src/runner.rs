@@ -18,9 +18,21 @@ pub enum Pacing {
 }
 
 impl Pacing {
-    /// Real-time pacing at `fps` frames per second (clamped above zero).
-    pub fn fps(fps: f64) -> Self {
-        Pacing::RealTime(Duration::from_secs_f64(1.0 / fps.max(1e-3)))
+    /// Real-time pacing at `fps` frames per second.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Config`] unless `fps` is finite and positive —
+    /// a NaN, infinite, zero, or negative rate has no meaningful frame
+    /// interval. (Earlier versions silently clamped these, which turned
+    /// a config typo into a 1000-second frame interval.)
+    pub fn fps(fps: f64) -> Result<Self, StreamError> {
+        if !fps.is_finite() || fps <= 0.0 {
+            return Err(StreamError::Config {
+                context: format!("pacing fps must be finite and positive, got {fps}"),
+            });
+        }
+        Ok(Pacing::RealTime(Duration::from_secs_f64(1.0 / fps)))
     }
 }
 
@@ -81,7 +93,7 @@ impl fmt::Display for RunReport {
 /// let model = SnapPixAr::new(VitConfig::snappix_s(16, 16, 5), mask)?;
 /// let server = Server::builder(Pipeline::builder(model)).build()?;
 ///
-/// let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(30.0));
+/// let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(30.0)?);
 /// for i in 0..4 {
 ///     let video = Dataset::new(ssv2_like(32, 16, 16), 8).sample(i).video;
 ///     runner.add_stream(ReplaySource::new(video), SessionConfig::new(8, 4));
@@ -210,14 +222,15 @@ mod tests {
     #[test]
     fn pacing_constructors() {
         assert_eq!(
-            Pacing::fps(50.0),
+            Pacing::fps(50.0).unwrap(),
             Pacing::RealTime(Duration::from_millis(20))
         );
-        // Nonsense rates clamp instead of dividing by zero.
-        let Pacing::RealTime(interval) = Pacing::fps(0.0) else {
-            panic!("fps always paces in real time");
-        };
-        assert!(interval <= Duration::from_secs(1000));
+        // Nonsense rates are rejected at construction, not clamped into
+        // a silently-absurd interval.
+        for bad in [0.0, -30.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Pacing::fps(bad).expect_err("bad fps must be rejected");
+            assert!(matches!(err, StreamError::Config { .. }), "{err}");
+        }
     }
 
     #[test]

@@ -43,14 +43,35 @@ impl Default for Smoothing {
 }
 
 /// The per-stream smoothing state behind a [`Smoothing`] config.
+///
+/// Public so schedulers other than [`StreamSession`](crate::StreamSession)
+/// (the fleet simulator's event-driven nodes, custom runners) can reuse
+/// the exact smoothing semantics: build one with [`Smoother::new`] and
+/// feed predictions in window order through [`Smoother::observe`].
 #[derive(Debug, Clone)]
-pub(crate) enum Smoother {
+pub enum Smoother {
+    /// Stateless pass-through for [`Smoothing::Off`].
     Off,
-    Ema { alpha: f32, state: Vec<f32> },
-    Majority { k: usize, recent: VecDeque<usize> },
+    /// Running EMA over logits for [`Smoothing::Ema`].
+    Ema {
+        /// Clamped weight of the newest window's logits.
+        alpha: f32,
+        /// The EMA'd logit vector (empty until the first observation).
+        state: Vec<f32>,
+    },
+    /// Sliding vote window for [`Smoothing::Majority`].
+    Majority {
+        /// Clamped vote window length.
+        k: usize,
+        /// Raw labels of the last (up to) `k` windows, oldest first.
+        recent: VecDeque<usize>,
+    },
 }
 
 impl Smoother {
+    /// Fresh smoothing state for `config`, with the same clamping the
+    /// session applies (`alpha` into `(0, 1]`, NaN degenerating to raw
+    /// labels; `k` to at least 1).
     pub fn new(config: Smoothing) -> Self {
         match config {
             Smoothing::Off => Smoother::Off,

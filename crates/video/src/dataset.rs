@@ -218,6 +218,14 @@ impl Dataset {
             motion_amplitude: self.config.motion_amplitude,
             background_components: self.config.background_components,
             noise_std: self.config.noise_std,
+            // Neutral settings: dataset presets model the paper's
+            // benchmark conditions; the diversity knobs are for bespoke
+            // fleet/stress scenes. Neutral draws no extra randomness, so
+            // preset samples are bit-for-bit what they were before the
+            // knobs existed.
+            illumination: 1.0,
+            occlusion: 0.0,
+            burstiness: 0.0,
         };
         Sample {
             video: render_scene(&params, &mut rng),

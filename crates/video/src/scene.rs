@@ -26,6 +26,38 @@ pub struct SceneParams {
     pub background_components: usize,
     /// Standard deviation of per-pixel sensor-independent noise.
     pub noise_std: f32,
+    /// Global illumination scale applied to the composited scene before
+    /// sensor noise: `1.0` is full daylight (the neutral default), lower
+    /// values darken toward night, higher values overexpose (clamped at
+    /// 0 from below). Noise is *not* scaled — sensor noise does not dim
+    /// with the scene, which is exactly why night clips are harder.
+    pub illumination: f32,
+    /// Transient occlusion severity in `[0, 1]`: `0.0` (the neutral
+    /// default) renders no occluder; above it, a dark vertical strip
+    /// covering roughly this fraction of the width sweeps in for this
+    /// fraction of the clip at a random position/onset.
+    pub occlusion: f32,
+    /// Temporal burstiness of the motion in `[0, 1]`: `0.0` (the
+    /// neutral default) spreads the action trajectory uniformly over
+    /// the clip; higher values compress it into a fast burst around the
+    /// clip's middle with near-frozen endpoints. All sprites share the
+    /// warp, so burst motion is correlated across the scene.
+    pub burstiness: f32,
+}
+
+impl SceneParams {
+    /// The time warp implementing [`burstiness`](Self::burstiness):
+    /// maps uniform clip time `tau` in `[0, 1]` to trajectory time.
+    /// Identity at zero burstiness.
+    fn warp_tau(&self, tau: f32) -> f32 {
+        let b = self.burstiness.clamp(0.0, 1.0);
+        if b <= 0.0 {
+            return tau;
+        }
+        // Linear speed-up around the midpoint, clamped: at b = 1 the
+        // whole trajectory plays out in the middle quarter of the clip.
+        ((tau - 0.5) * (1.0 + 3.0 * b) + 0.5).clamp(0.0, 1.0)
+    }
 }
 
 /// Renders a scene into a [`Video`] using randomness from `rng`.
@@ -80,6 +112,27 @@ pub fn render_scene<R: Rng + ?Sized>(params: &SceneParams, rng: &mut R) -> Video
         })
         .collect();
 
+    // Transient occluder: a dark vertical strip that sweeps in for part
+    // of the clip. Its randomness is drawn only when the knob is active,
+    // so neutral scenes consume exactly the RNG stream they always did.
+    let severity = params.occlusion.clamp(0.0, 1.0);
+    let occluder = (severity > 0.0).then(|| {
+        let cover = ((severity * w as f32).ceil() as usize).clamp(1, w);
+        let x0 = if cover < w {
+            rng.random_range(0..w - cover + 1)
+        } else {
+            0
+        };
+        let tau0: f32 = rng.random_range(0.0..=(1.0 - severity).max(0.0));
+        (x0, cover, tau0, (tau0 + severity).min(1.0))
+    });
+
+    let illumination = if params.illumination.is_nan() {
+        1.0
+    } else {
+        params.illumination.max(0.0)
+    };
+
     let mut out = Tensor::zeros(&[t, h, w]);
     let data = out.as_mut_slice();
     for f in 0..t {
@@ -90,10 +143,11 @@ pub fn render_scene<R: Rng + ?Sized>(params: &SceneParams, rng: &mut R) -> Video
         };
         let frame = &mut data[f * h * w..(f + 1) * h * w];
         frame.copy_from_slice(&background);
+        let warped = params.warp_tau(tau);
         for s in &sprites {
             let (dx, dy, size, gain) = params
                 .action
-                .pose((tau + s.phase).min(1.0), params.motion_amplitude);
+                .pose((warped + s.phase).min(1.0), params.motion_amplitude);
             let (cx, cy) = (s.cx + dx, s.cy + dy);
             let r = (s.radius * size).max(0.5);
             // Soft-edged sprite: ~1 inside, smooth roll-off over one pixel.
@@ -111,6 +165,20 @@ pub fn render_scene<R: Rng + ?Sized>(params: &SceneParams, rng: &mut R) -> Video
                     };
                     let coverage = (r - dist + 0.5).clamp(0.0, 1.0);
                     frame[y * w + x] += s.intensity * gain * coverage;
+                }
+            }
+        }
+        if illumination != 1.0 {
+            for v in frame.iter_mut() {
+                *v *= illumination;
+            }
+        }
+        if let Some((x0, cover, tau_on, tau_off)) = occluder {
+            if (tau_on..=tau_off).contains(&tau) {
+                for y in 0..h {
+                    for v in frame[y * w + x0..y * w + x0 + cover].iter_mut() {
+                        *v *= 0.08; // nearly opaque: a passer-by, not a shadow
+                    }
                 }
             }
         }
@@ -145,6 +213,9 @@ mod tests {
             motion_amplitude: 10.0,
             background_components: 6,
             noise_std: 0.0,
+            illumination: 1.0,
+            occlusion: 0.0,
+            burstiness: 0.0,
         }
     }
 
@@ -232,6 +303,123 @@ mod tests {
         p.noise_std = 0.0;
         let b = render_scene(&p, &mut StdRng::seed_from_u64(4));
         assert!(!a.frames().approx_eq(b.frames(), 1e-4));
+    }
+
+    fn frame_means(v: &Video) -> Vec<f32> {
+        (0..v.frames().shape()[0])
+            .map(|f| v.frame(f).unwrap().mean())
+            .collect()
+    }
+
+    #[test]
+    fn night_scenes_are_measurably_darker() {
+        // Illumination draws no randomness, so the same seed renders the
+        // same scene at two light levels and the means are comparable
+        // pixel for pixel.
+        let p_day = base_params(ActionClass::TranslateRight);
+        let mut p_night = p_day.clone();
+        p_night.illumination = 0.25;
+        let day = render_scene(&p_day, &mut StdRng::seed_from_u64(11));
+        let night = render_scene(&p_night, &mut StdRng::seed_from_u64(11));
+        let (day_mean, night_mean) = (day.frames().mean(), night.frames().mean());
+        assert!(
+            night_mean < day_mean * 0.5,
+            "night mean {night_mean} should be well below day mean {day_mean}"
+        );
+        // And overexposure brightens (clamping keeps it in range).
+        let mut p_bright = p_day.clone();
+        p_bright.illumination = 2.0;
+        let bright = render_scene(&p_bright, &mut StdRng::seed_from_u64(11));
+        assert!(bright.frames().mean() > day_mean);
+        assert!(bright.frames().as_slice().iter().all(|&x| x <= 1.0));
+    }
+
+    #[test]
+    fn occlusion_creates_a_transient_brightness_dip() {
+        // Static background, motionless sprite, no noise: without an
+        // occluder every frame mean is identical, so any spread across
+        // frame means is the occluder passing through.
+        let mut p = base_params(ActionClass::TranslateRight);
+        p.frames = 12;
+        p.motion_amplitude = 0.0;
+        p.noise_std = 0.0;
+        let clean = render_scene(&p, &mut StdRng::seed_from_u64(21));
+        let clean_means = frame_means(&clean);
+        let spread = |means: &[f32]| {
+            let (lo, hi) = means
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(lo, hi), &m| (lo.min(m), hi.max(m)));
+            hi - lo
+        };
+        assert!(spread(&clean_means) < 1e-6, "static scene, static means");
+
+        p.occlusion = 0.5;
+        let occluded = render_scene(&p, &mut StdRng::seed_from_u64(21));
+        let occ_means = frame_means(&occluded);
+        assert!(
+            spread(&occ_means) > 0.05,
+            "the occluder must dent some frames: spread {}",
+            spread(&occ_means)
+        );
+        // Transient, not permanent: the brightest occluded frame matches
+        // the clean scene (the strip is not always present).
+        let max_occ = occ_means.iter().cloned().fold(f32::MIN, f32::max);
+        assert!((max_occ - clean_means[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn burstiness_concentrates_motion_mid_clip() {
+        // Burstiness draws no randomness either: same seed, same sprites,
+        // different temporal profile. Measure per-step change and compare
+        // its peak-to-mean ratio.
+        let mut p = base_params(ActionClass::TranslateRight);
+        p.frames = 16;
+        let steady = render_scene(&p, &mut StdRng::seed_from_u64(31));
+        p.burstiness = 1.0;
+        let bursty = render_scene(&p, &mut StdRng::seed_from_u64(31));
+        let step_diffs = |v: &Video| -> Vec<f32> {
+            (1..v.frames().shape()[0])
+                .map(|f| {
+                    v.frame(f)
+                        .unwrap()
+                        .sub(&v.frame(f - 1).unwrap())
+                        .unwrap()
+                        .abs()
+                        .mean()
+                })
+                .collect()
+        };
+        let peak_to_mean = |d: &[f32]| {
+            let mean = d.iter().sum::<f32>() / d.len() as f32;
+            d.iter().cloned().fold(f32::MIN, f32::max) / mean.max(1e-9)
+        };
+        let (steady_ratio, bursty_ratio) = (
+            peak_to_mean(&step_diffs(&steady)),
+            peak_to_mean(&step_diffs(&bursty)),
+        );
+        assert!(
+            bursty_ratio > steady_ratio * 1.5,
+            "bursty peak/mean {bursty_ratio} vs steady {steady_ratio}"
+        );
+        // The endpoints are near-frozen under full burstiness.
+        let d = step_diffs(&bursty);
+        assert!(d[0] < 1e-6, "start of a bursty clip holds still");
+        assert!(d[d.len() - 1] < 1e-6, "end of a bursty clip holds still");
+    }
+
+    #[test]
+    fn neutral_knobs_change_nothing() {
+        // The knob fields at their neutral settings must consume no
+        // randomness and alter no arithmetic: pinned so dataset presets
+        // stay bit-for-bit reproducible across this change.
+        let p = base_params(ActionClass::Oscillate);
+        let mut p_explicit = p.clone();
+        p_explicit.illumination = 1.0;
+        p_explicit.occlusion = 0.0;
+        p_explicit.burstiness = 0.0;
+        let a = render_scene(&p, &mut StdRng::seed_from_u64(41));
+        let b = render_scene(&p_explicit, &mut StdRng::seed_from_u64(41));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Fleet-scale simulation end to end: sixteen battery-and-harvest
+//! sensor nodes multiplexed over one shared server by a four-thread
+//! driver pool, with the duty-cycle ladder trading inference for
+//! lifetime as budgets drain.
+//!
+//! Run with `cargo run --release --example fleet`. The run is seeded and
+//! replayable: every number printed here (except wall time) is identical
+//! across runs, driver-pool sizes, and `SNAPPIX_THREADS` settings.
+
+use snappix_fleet::prelude::*;
+use std::time::Duration;
+
+const T: usize = 8;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+const NODES: usize = 16;
+const FRAMES: usize = 120;
+
+fn main() -> Result<(), snappix::Error> {
+    // A small co-designed model at the paper's 16x16 edge scale, served
+    // with two worker replicas and cross-fleet dynamic batching.
+    let mask = patterns::long_exposure(T, (8, 8))?;
+    let model = SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask)?;
+    let server = Server::builder(Pipeline::builder(model))
+        .with_workers(2)
+        .with_batch_policy(BatchPolicy::new(8, Duration::from_millis(1)))
+        .build()?;
+
+    // Price one window under the paper's model so budgets can be sized
+    // in "number of inferences" instead of raw picojoules.
+    let cost = EnergyModel::paper()
+        .snappix_energy(&Scenario {
+            frame_pixels: HW * HW,
+            slots: T,
+            wireless: Wireless::PassiveWifi,
+        })
+        .total_pj();
+    println!(
+        "one inferred window costs {:.0} pJ (paper model, {}x{} px, {T} slots, passive WiFi)",
+        cost, HW, HW
+    );
+
+    // Sixteen nodes in four energy personalities: mains-powered,
+    // battery-only, battery + strong harvest, battery + weak harvest.
+    let mut sim = FleetSim::new(&server).with_drivers(4);
+    let data = Dataset::new(ssv2_like(FRAMES, HW, HW), NODES);
+    for i in 0..NODES {
+        let (budget, personality) = match i % 4 {
+            0 => (EnergyBudget::unbounded(), "mains"),
+            1 => (EnergyBudget::new(cost * 8.0), "battery"),
+            2 => (
+                EnergyBudget::new(cost * 8.0).with_harvest(cost * 20.0),
+                "battery+sun",
+            ),
+            _ => (
+                EnergyBudget::new(cost * 8.0).with_harvest(cost * 4.0),
+                "battery+shade",
+            ),
+        };
+        let id = sim.add_node(
+            ReplaySource::new(data.sample(i).video),
+            NodeConfig::new(T, 4)
+                .with_fps(30.0)
+                .with_budget(budget)
+                .with_smoothing(Smoothing::Majority { k: 3 })
+                .with_hysteresis(2)
+                .with_sleep_cost(cost * 0.01),
+        )?;
+        println!("node {id:>2}: {personality}");
+    }
+
+    let report = sim.run()?;
+
+    println!("\n-- duty-cycle ladder transitions --");
+    for event in &report.trace {
+        if matches!(event.kind, TraceKind::Rung { .. }) {
+            println!("{event}");
+        }
+    }
+
+    println!("\n-- per-node accounting --");
+    for node in &report.nodes {
+        println!("node {:>2}: {}", node.id, node.stats);
+    }
+
+    println!("\n-- budget survival curve --");
+    for (t, alive) in report.survival_curve(6) {
+        println!(
+            "  t = {:>5.1} virtual s: {:>3.0}% of nodes not yet asleep",
+            t as f64 / 1e6,
+            alive * 100.0
+        );
+    }
+
+    println!("\n-- fleet aggregate --");
+    println!("{}", report.stats);
+    println!(
+        "wall time {:.0} ms for {:.1} virtual s ({} events traced); ledgers conserved: {}",
+        report.wall.as_secs_f64() * 1e3,
+        report.stats.virtual_us as f64 / 1e6,
+        report.trace.len(),
+        report.check_conserved(),
+    );
+
+    let stats = server.shutdown();
+    println!(
+        "server: {} requests completed in {} batches (mean batch {:.2})",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch_size()
+    );
+    Ok(())
+}

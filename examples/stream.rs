@@ -45,7 +45,8 @@ fn main() -> Result<(), snappix::Error> {
         OverloadPolicy::DropOldest { pending: 2 },
         OverloadPolicy::SkipWindow,
     ];
-    let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(120.0));
+    let mut runner =
+        StreamRunner::new(&server).with_pacing(Pacing::fps(120.0).map_err(snappix::Error::from)?);
     let mut truths = Vec::new();
     for (i, &overload) in policies.iter().enumerate().take(STREAMS) {
         // Different per-stream seeds: shift the sample range via config.

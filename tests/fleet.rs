@@ -1,0 +1,291 @@
+//! Integration suite for the `snappix-fleet` subsystem.
+//!
+//! The headline guarantee is the determinism contract: a seeded fleet
+//! run with replayable node configs (blocking overload, no deadline)
+//! produces bit-for-bit identical per-node stats, merged trace, and
+//! aggregate — across repeated runs, driver-pool sizes, and server
+//! worker counts, at every `SNAPPIX_THREADS` setting (CI runs this file
+//! in both matrix legs). On top of that: conserved window and energy
+//! ledgers fleet-wide, the duty-cycle ladder engaging and recovering
+//! under budget pressure, and config validation at `add_node`.
+
+use snappix_fleet::prelude::*;
+use std::time::Duration;
+
+const T: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 5;
+const FRAMES: usize = 41;
+
+fn model() -> SnapPixAr {
+    let mask = patterns::long_exposure(T, (8, 8)).expect("valid mask");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("valid model")
+}
+
+fn server(workers: usize) -> Server {
+    Server::builder(Pipeline::builder(model()))
+        .with_workers(workers)
+        .with_batch_policy(BatchPolicy::new(4, Duration::from_millis(1)))
+        .build()
+        .expect("server starts")
+}
+
+/// Deterministic per-node videos: node `i` replays sample `i` of a
+/// seeded dataset, so every run sees the same frames.
+fn fleet_videos(n: usize) -> Vec<Video> {
+    let data = Dataset::new(ssv2_like(FRAMES, HW, HW), n.max(1));
+    (0..n).map(|i| data.sample(i).video).collect()
+}
+
+/// The cost one full inference charges a test node (paper pricing over
+/// passive WiFi) — for sizing budgets to "exactly k windows".
+fn infer_cost() -> f64 {
+    EnergyModel::paper()
+        .snappix_energy(&Scenario {
+            frame_pixels: HW * HW,
+            slots: T,
+            wireless: Wireless::PassiveWifi,
+        })
+        .total_pj()
+}
+
+/// A mixed fleet: unbounded, finite-with-harvest, and finite-no-harvest
+/// budgets at two frame rates.
+fn mixed_config(i: usize, cost: f64) -> NodeConfig {
+    let budget = match i % 3 {
+        0 => EnergyBudget::unbounded(),
+        1 => EnergyBudget::new(cost * 6.0).with_harvest(cost * 2.0),
+        _ => EnergyBudget::new(cost * 3.0),
+    };
+    NodeConfig::new(T, 2)
+        .with_fps(if i.is_multiple_of(2) { 30.0 } else { 15.0 })
+        .with_budget(budget)
+        .with_smoothing(Smoothing::Majority { k: 3 })
+        .with_hysteresis(2)
+        .with_sleep_cost(cost * 0.01)
+}
+
+fn run_mixed_fleet(drivers: usize, workers: usize, n: usize) -> FleetReport {
+    let cost = infer_cost();
+    let server = server(workers);
+    let mut sim = FleetSim::new(&server).with_drivers(drivers);
+    for (i, video) in fleet_videos(n).into_iter().enumerate() {
+        sim.add_node(ReplaySource::new(video), mixed_config(i, cost))
+            .expect("valid node");
+    }
+    let report = sim.run().expect("fleet run completes");
+    server.shutdown();
+    report
+}
+
+#[test]
+fn replay_is_bit_for_bit_across_drivers_and_workers() {
+    let baseline = run_mixed_fleet(1, 1, 6);
+    assert!(baseline.stats.windows > 0, "fleet did work");
+    assert!(baseline.stats.inferred > 0, "fleet inferred windows");
+    assert!(!baseline.trace.is_empty(), "trace recorded");
+    for (drivers, workers) in [(1, 1), (3, 2), (6, 2)] {
+        let replay = run_mixed_fleet(drivers, workers, 6);
+        assert_eq!(
+            replay.nodes, baseline.nodes,
+            "per-node stats and events must replay exactly \
+             ({drivers} drivers, {workers} workers)"
+        );
+        assert_eq!(
+            replay.trace, baseline.trace,
+            "the merged trace must replay exactly ({drivers} drivers, {workers} workers)"
+        );
+        assert_eq!(
+            replay.stats, baseline.stats,
+            "aggregate must replay exactly"
+        );
+    }
+}
+
+#[test]
+fn ledgers_are_conserved_fleet_wide() {
+    let report = run_mixed_fleet(2, 2, 6);
+    assert!(report.check_conserved(), "per-node and aggregate ledgers");
+    let mut windows = 0;
+    let mut spent = 0.0;
+    for node in &report.nodes {
+        let s = &node.stats;
+        assert_eq!(
+            s.inferred + s.shed + s.expired + s.slept,
+            s.windows,
+            "node {}: every window lands in exactly one bucket",
+            node.id
+        );
+        assert_eq!(s.events, node.events.len() as u64);
+        windows += s.windows;
+        spent += s.spent_pj;
+    }
+    assert_eq!(report.stats.windows, windows);
+    assert!((report.stats.spent_pj - spent).abs() <= 1e-9 * spent.max(1.0));
+    assert_eq!(report.stats.nodes, 6);
+    assert!(report.stats.energy_per_inference_pj() > 0.0);
+}
+
+#[test]
+fn unbounded_nodes_infer_every_window_and_match_offline_labels() {
+    let server = server(2);
+    let video = fleet_videos(1).remove(0);
+    let hop = 2;
+    let mut sim = FleetSim::new(&server);
+    sim.add_node(
+        ReplaySource::new(video.clone()),
+        NodeConfig::new(T, hop)
+            .with_smoothing(Smoothing::Off)
+            .with_hysteresis(1),
+    )
+    .expect("valid node");
+    let report = sim.run().expect("run completes");
+    server.shutdown();
+
+    let stats = &report.nodes[0].stats;
+    let expected_windows = ((FRAMES - T) / hop + 1) as u64;
+    assert_eq!(stats.windows, expected_windows);
+    assert_eq!(stats.inferred, expected_windows, "no budget, no shedding");
+    assert_eq!((stats.shed, stats.expired, stats.slept), (0, 0, 0));
+    assert_eq!(stats.final_rung, DutyRung::Full);
+    assert_eq!(stats.rung_changes, 0);
+    assert!(stats.first_sleep_us.is_none());
+
+    // The event-driven path must still be numerically the offline
+    // pipeline: trace labels equal a serial inference over the same
+    // sliding windows.
+    let mut pipeline = Pipeline::builder(model()).build().expect("pipeline");
+    let offline: Vec<usize> = video
+        .windows(T, hop)
+        .map(|w| pipeline.infer_clip(&w).expect("offline inference").label)
+        .collect();
+    let streamed: Vec<usize> = report
+        .trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Inferred { label } => Some(label),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed, offline, "fleet labels == offline labels");
+}
+
+#[test]
+fn a_draining_budget_walks_the_ladder_and_harvest_recovers_it() {
+    let cost = infer_cost();
+    let server = server(1);
+    let mut sim = FleetSim::new(&server);
+    // Node 0: enough for a few windows, no harvest — must walk down to
+    // Sleep and stay there. Node 1: same reserve, but harvest covers
+    // ~3/4 of an inference per window — it drains at Full, then the
+    // reduced rate lets harvest win and step it back up.
+    sim.add_node(
+        ReplaySource::new(fleet_videos(1).remove(0)),
+        NodeConfig::new(T, 1)
+            .with_budget(EnergyBudget::new(cost * 4.0))
+            .with_fps(60.0),
+    )
+    .expect("valid node");
+    sim.add_node(
+        ReplaySource::new(fleet_videos(1).remove(0)),
+        NodeConfig::new(T, 1)
+            .with_budget(EnergyBudget::new(cost * 4.0).with_harvest(cost * 45.0))
+            .with_fps(60.0),
+    )
+    .expect("valid node");
+    let report = sim.run().expect("run completes");
+    server.shutdown();
+
+    let drained = &report.nodes[0].stats;
+    assert!(drained.rung_changes > 0, "ladder engaged");
+    assert_eq!(drained.final_rung, DutyRung::Sleep, "no harvest, no mercy");
+    assert!(drained.first_sleep_us.is_some());
+    assert!(drained.slept > 0);
+    assert!(drained.inferred >= 1, "the budget bought a few inferences");
+    assert!(drained.check_conserved());
+
+    let harvesting = &report.nodes[1].stats;
+    let recovered = report.trace.iter().any(|e| {
+        e.node == 1 && matches!(e.kind, TraceKind::Rung { from, to } if to.depth() < from.depth())
+    });
+    assert!(recovered, "harvest must step the node back up the ladder");
+    assert!(
+        harvesting.inferred > drained.inferred,
+        "harvest buys more inferences than a dead battery"
+    );
+    assert!(harvesting.harvested_pj > 0.0);
+    assert!(harvesting.check_conserved());
+}
+
+#[test]
+fn survival_curve_is_monotone_and_bounded() {
+    let report = run_mixed_fleet(2, 1, 6);
+    let curve = report.survival_curve(8);
+    assert_eq!(curve.len(), 9);
+    assert_eq!(curve[0].1, 1.0, "everyone starts awake");
+    for pair in curve.windows(2) {
+        assert!(pair[0].0 <= pair[1].0, "time advances");
+        assert!(
+            pair[0].1 >= pair[1].1,
+            "first-sleep survival never recovers"
+        );
+        assert!((0.0..=1.0).contains(&pair[1].1));
+    }
+    // The no-harvest nodes (2 of 6) ran out: the curve must end below 1.
+    assert!(curve[8].1 < 1.0, "some nodes slept: {curve:?}");
+    assert!(report.survival_curve(0).is_empty());
+}
+
+#[test]
+fn misconfigured_nodes_are_rejected_up_front() {
+    let server = server(1);
+    let mut sim = FleetSim::new(&server);
+    let video = fleet_videos(1).remove(0);
+    let bad: Vec<NodeConfig> = vec![
+        NodeConfig::new(T + 1, 1), // window != model slots
+        NodeConfig::new(T, 1).with_fps(f64::NAN),
+        NodeConfig::new(T, 1).with_fps(0.0),
+        NodeConfig::new(T, 1).with_fps(-30.0),
+        NodeConfig::new(T, 1).with_fps(f64::INFINITY),
+        NodeConfig::new(T, 1).with_overload(OverloadPolicy::DropOldest { pending: 4 }),
+        NodeConfig::new(T, 1).with_ladder(DutyCycle {
+            rate_divisor: 1,
+            ..DutyCycle::default()
+        }),
+        NodeConfig::new(T, 1).with_sleep_cost(-1.0),
+        NodeConfig::new(T, 1).with_sleep_cost(f64::NAN),
+    ];
+    for config in bad {
+        let err = sim
+            .add_node(ReplaySource::new(video.clone()), config.clone())
+            .expect_err("must be rejected");
+        assert!(
+            matches!(err, FleetError::Config { .. }),
+            "{config:?} -> {err}"
+        );
+        let umbrella: snappix::Error = err.into();
+        assert!(umbrella.to_string().contains("fleet"));
+    }
+    assert_eq!(sim.node_count(), 0, "nothing slipped through");
+    // A valid node still goes in afterwards.
+    sim.add_node(ReplaySource::new(video), NodeConfig::new(T, 1))
+        .expect("valid node accepted");
+    assert_eq!(sim.node_count(), 1);
+    drop(sim);
+    server.shutdown();
+}
+
+#[test]
+fn an_empty_fleet_returns_an_empty_report() {
+    let server = server(1);
+    let report = FleetSim::new(&server)
+        .with_drivers(4)
+        .run()
+        .expect("empty run completes");
+    server.shutdown();
+    assert_eq!(report.stats.nodes, 0);
+    assert_eq!(report.stats.windows, 0);
+    assert!(report.trace.is_empty());
+    assert!(report.check_conserved());
+    assert!(report.survival_curve(4).is_empty());
+}

@@ -319,6 +319,27 @@ fn mismatched_window_length_is_rejected_up_front() {
     assert!(matches!(unified, snappix::Error::Stream(_)));
 }
 
+/// Non-finite and non-positive frame rates are config errors, not
+/// silently-clamped intervals.
+#[test]
+fn bad_frame_rates_are_rejected_up_front() {
+    for bad in [0.0, -1.0, -30.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = Pacing::fps(bad).expect_err("bad fps must be rejected");
+        assert!(
+            matches!(err, StreamError::Config { .. }),
+            "fps {bad}: {err}"
+        );
+        assert!(
+            err.to_string().contains("fps"),
+            "error should name the knob: {err}"
+        );
+    }
+    // The boundary of validity: tiny-but-positive and huge-but-finite
+    // rates are legal.
+    assert!(Pacing::fps(0.001).is_ok());
+    assert!(Pacing::fps(1e6).is_ok());
+}
+
 /// Real-time pacing feeds frames on schedule: a short 2-stream run at a
 /// brisk rate still infers every window (this is a smoke test of the
 /// pacing path, not a latency assertion — CI machines are noisy).
@@ -329,7 +350,7 @@ fn real_time_pacing_serves_every_window_when_unloaded() {
         .with_workers(1)
         .build()
         .expect("server assembly");
-    let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(500.0));
+    let mut runner = StreamRunner::new(&server).with_pacing(Pacing::fps(500.0).expect("valid fps"));
     for i in 0..2 {
         runner.add_stream(
             ReplaySource::new(data.sample(i).video),
