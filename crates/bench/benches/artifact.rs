@@ -1,0 +1,104 @@
+//! Criterion microbench: weight loading through the `.spx` artifact vs
+//! the legacy `load_params` stream — the acceptance measurement for the
+//! storage refactor (numbers recorded in BENCHMARKS.md).
+//!
+//! Three load paths over the same checkpoint:
+//!
+//! * `artifact/load_params` — the legacy `.snpx` path: parse the stream,
+//!   copy every tensor into per-store owned buffers.
+//! * `artifact/open_and_load` — cold `.spx` path: read the file, verify
+//!   the checksum, parse the table, then hand out zero-copy windows into
+//!   one shared payload buffer.
+//! * `artifact/load_from_open_reader` — warm `.spx` path: the reader is
+//!   already open (a fleet stamping replica N), so "loading" is just
+//!   `Arc` clones of the payload plus shape checks — no file IO, no
+//!   payload copy.
+//!
+//! After the timing groups, the bench prints the resident-weight-bytes
+//! table for worker counts {1, 4, 8}: shared storage keeps the resident
+//! set flat while the naive per-replica sum scales linearly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snappix_nn::ArtifactReader;
+use snappix_serve::prelude::*;
+use std::path::PathBuf;
+
+const T: usize = 16;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+
+fn model() -> SnapPixAr {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let mask = patterns::random(T, (8, 8), 0.5, &mut rng).expect("valid dims");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("geometry")
+}
+
+fn checkpoint_pair() -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("snappix_bench_artifact_{}", std::process::id()));
+    let snpx = base.with_extension("snpx");
+    let spx = base.with_extension("spx");
+    let trained = model();
+    save_params(trained.store(), &snpx).expect("legacy save");
+    write_artifact(trained.store(), &spx).expect("artifact save");
+    (snpx, spx)
+}
+
+fn bench_artifact(c: &mut Criterion) {
+    let (snpx, spx) = checkpoint_pair();
+    let payload_kib = std::fs::metadata(&spx).expect("artifact written").len() / 1024;
+
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(30);
+
+    group.bench_function(format!("load_params_{payload_kib}KiB"), |b| {
+        b.iter(|| {
+            let mut m = model();
+            load_params(m.store_mut(), &snpx).expect("legacy load");
+            m
+        })
+    });
+
+    group.bench_function(format!("open_and_load_{payload_kib}KiB"), |b| {
+        b.iter(|| {
+            let mut m = model();
+            let reader = ArtifactReader::open(&spx).expect("artifact open");
+            reader.load_into(m.store_mut()).expect("artifact load");
+            m
+        })
+    });
+
+    let reader = ArtifactReader::open(&spx).expect("artifact open");
+    group.bench_function(format!("load_from_open_reader_{payload_kib}KiB"), |b| {
+        b.iter(|| {
+            let mut m = model();
+            reader.load_into(m.store_mut()).expect("artifact load");
+            m
+        })
+    });
+    group.finish();
+
+    // Resident weight memory vs worker count: the artifact's payload is
+    // shared read-only across replicas, so the resident set stays flat
+    // while the naive (deep-copy) accounting scales linearly.
+    eprintln!("artifact bench: resident weight bytes vs workers");
+    for workers in [1usize, 4, 8] {
+        let replicas = Pipeline::builder(model())
+            .with_artifact(&spx)
+            .expect("artifact open")
+            .build_replicas(workers)
+            .expect("replica assembly");
+        let resident = resident_weight_bytes(&replicas);
+        let naive: usize = replicas.iter().map(Pipeline::weight_bytes).sum();
+        eprintln!(
+            "  workers {workers}: resident {resident} B, deep-copy {naive} B, ratio {:.2}x",
+            naive as f64 / resident as f64
+        );
+    }
+
+    std::fs::remove_file(snpx).ok();
+    std::fs::remove_file(spx).ok();
+}
+
+criterion_group!(benches, bench_artifact);
+criterion_main!(benches);

@@ -204,6 +204,19 @@ fn render_server(out: &mut String, s: &ServerStats) {
 
     family(
         out,
+        "snappix_server_resident_weight_bytes",
+        "gauge",
+        "Bytes of model weights resident across all worker replicas (shared storage counted once).",
+    );
+    sample(
+        out,
+        "snappix_server_resident_weight_bytes",
+        &[],
+        s.resident_weight_bytes,
+    );
+
+    family(
+        out,
         "snappix_server_batches_total",
         "counter",
         "Batched forward passes executed.",
@@ -349,6 +362,7 @@ mod tests {
             batches: 3,
             batch_sizes: vec![0, 1, 0, 2], // 1 single + 2 triples = 7 clips
             queue_depth: 1,
+            resident_weight_bytes: 65536,
             uptime: Duration::from_secs(5),
             queue_latency: LatencySummary::from_samples(&[
                 Duration::from_millis(1),
@@ -379,6 +393,7 @@ mod tests {
             "snappix_gateway_request_latency_seconds_count{endpoint=\"classify\"} 2\n",
             "snappix_server_requests_submitted_total 10\n",
             "snappix_server_requests_in_flight 2\n",
+            "snappix_server_resident_weight_bytes 65536\n",
             "snappix_server_batch_size_bucket{le=\"1\"} 1\n",
             "snappix_server_batch_size_bucket{le=\"3\"} 3\n",
             "snappix_server_batch_size_bucket{le=\"+Inf\"} 3\n",

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod attention;
 mod conv;
 mod error;
@@ -53,6 +54,10 @@ mod serialize;
 mod svc;
 mod transformer;
 
+pub use artifact::{
+    convert_params_to_artifact, fnv1a64, write_artifact, ArtifactReader, SPX_ALIGN,
+    SPX_HEADER_BYTES, SPX_MAGIC, SPX_VERSION,
+};
 pub use attention::MultiHeadAttention;
 pub use conv::{Conv2d, Conv3d};
 pub use error::NnError;
@@ -61,7 +66,7 @@ pub use linear::Linear;
 pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd};
-pub use param::{Gradients, ParamId, ParamStore, Session, SessionPool};
+pub use param::{resident_weight_bytes, Gradients, ParamId, ParamStore, Session, SessionPool};
 pub use pool::max_pool3d;
 pub use schedule::LrSchedule;
 pub use serialize::{load_params, save_params};

@@ -4,10 +4,20 @@
 //! then per parameter: name length `u32` + UTF-8 name, rank `u32` +
 //! little-endian `u64` extents, and the `f32` data. No external
 //! serialization crate is needed.
+//!
+//! This legacy format has no checksum and no payload-length field, so the
+//! loader reads the whole file up front and bounds-checks every record
+//! against the real file size before allocating or interpreting data — a
+//! truncated or corrupt file fails with a typed [`NnError::Format`]
+//! instead of loading garbage weights. For a sealed, checksummed,
+//! zero-copy format see the [`artifact`](crate::artifact) module; this
+//! one stays as the writable interchange format that
+//! [`convert_params_to_artifact`](crate::convert_params_to_artifact)
+//! upgrades from.
 
 use crate::{NnError, ParamStore, Result};
 use snappix_tensor::Tensor;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SNPX";
@@ -48,78 +58,161 @@ pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Io`] on filesystem failures and [`NnError::Format`]
-/// for malformed files, unknown names, or shape mismatches.
+/// Returns [`NnError::Io`] when the file cannot be read and
+/// [`NnError::Format`] for malformed files — including files truncated
+/// mid-record, whose declared payload no longer fits in the bytes
+/// actually present — unknown names, or shape mismatches.
 pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<()> {
-    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
-    let mut magic = [0u8; 4];
-    file.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let bytes = std::fs::read(path)?;
+    let entries = read_legacy(&bytes)?;
+    apply_entries(store, entries)
+}
+
+/// Parses a legacy `SNPX` weight file into `(name, tensor)` entries.
+///
+/// Every length that the file declares (name length, rank, extents) is
+/// checked against the bytes that remain *before* any allocation or
+/// data read, so truncation and corrupt counts surface as
+/// [`NnError::Format`] rather than garbage tensors or huge allocations.
+pub(crate) fn read_legacy(bytes: &[u8]) -> Result<Vec<(String, Tensor)>> {
+    let mut c = Cursor::new(bytes);
+    if c.take(4)? != MAGIC {
         return Err(NnError::Format {
             context: "bad magic (not a SnapPix weight file)".to_string(),
         });
     }
-    let version = read_u32(&mut file)?;
+    let version = c.u32()?;
     if version != VERSION {
         return Err(NnError::Format {
             context: format!("unsupported version {version}"),
         });
     }
-    let count = read_u32(&mut file)? as usize;
-    let by_name: std::collections::HashMap<String, crate::ParamId> = store
-        .iter()
-        .map(|(id, name, _)| (name.to_string(), id))
-        .collect();
+    let count = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
-        let name_len = read_u32(&mut file)? as usize;
-        let mut name_bytes = vec![0u8; name_len];
-        file.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| NnError::Format {
+        let name_len = c.u32()? as usize;
+        let name = String::from_utf8(c.take(name_len)?.to_vec()).map_err(|_| NnError::Format {
             context: "parameter name is not UTF-8".to_string(),
         })?;
-        let rank = read_u32(&mut file)? as usize;
+        let rank = c.u32()? as usize;
+        if c.remaining() < rank.saturating_mul(8) {
+            return Err(NnError::Format {
+                context: format!("truncated file: rank {rank} shape for {name} cut short"),
+            });
+        }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
-            let mut buf = [0u8; 8];
-            file.read_exact(&mut buf)?;
-            shape.push(u64::from_le_bytes(buf) as usize);
+            shape.push(c.u64()? as usize);
         }
-        let n: usize = shape.iter().product();
-        let mut data = Vec::with_capacity(n);
-        let mut buf = [0u8; 4];
-        for _ in 0..n {
-            file.read_exact(&mut buf)?;
-            data.push(f32::from_le_bytes(buf));
-        }
-        let id = *by_name.get(&name).ok_or_else(|| NnError::Format {
-            context: format!("file contains unknown parameter {name}"),
+        let n = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| NnError::Format {
+                context: format!("element count overflow in shape {shape:?} for {name}"),
+            })?;
+        // Payload-length check before allocating: the remaining bytes
+        // must hold all n floats this record declares.
+        let data_bytes = n.checked_mul(4).ok_or_else(|| NnError::Format {
+            context: format!("payload size overflow for {name}"),
         })?;
-        if store.value(id).shape() != shape.as_slice() {
+        if c.remaining() < data_bytes {
             return Err(NnError::Format {
                 context: format!(
-                    "shape mismatch for {name}: file {shape:?} vs store {:?}",
-                    store.value(id).shape()
+                    "truncated file: {name} declares {data_bytes} data bytes but only {} remain",
+                    c.remaining()
                 ),
             });
         }
-        *store.value_mut(id) = Tensor::from_vec(data, &shape)?;
+        let data = c
+            .take(data_bytes)?
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        entries.push((name, Tensor::from_vec(data, &shape)?));
     }
     // The declared parameter count must account for the whole file: bytes
     // past the last parameter mean the header lied (or the file was
     // concatenated/corrupted), and silently ignoring them would mask it.
-    let mut probe = [0u8; 1];
-    if file.read(&mut probe)? != 0 {
+    if c.remaining() != 0 {
         return Err(NnError::Format {
             context: format!("trailing bytes after the last of {count} parameters"),
         });
     }
+    Ok(entries)
+}
+
+/// Writes `(name, tensor)` entries into `store`, matching by name.
+///
+/// The shared semantics of [`load_params`] and
+/// [`ArtifactReader::load_into`](crate::ArtifactReader::load_into):
+/// every entry must name a store parameter of identical shape; store
+/// parameters absent from `entries` keep their current values.
+pub(crate) fn apply_entries(store: &mut ParamStore, entries: Vec<(String, Tensor)>) -> Result<()> {
+    let by_name: std::collections::HashMap<String, crate::ParamId> = store
+        .iter()
+        .map(|(id, name, _)| (name.to_string(), id))
+        .collect();
+    for (name, tensor) in entries {
+        let id = *by_name.get(&name).ok_or_else(|| NnError::Format {
+            context: format!("file contains unknown parameter {name}"),
+        })?;
+        if store.value(id).shape() != tensor.shape() {
+            return Err(NnError::Format {
+                context: format!(
+                    "shape mismatch for {name}: file {:?} vs store {:?}",
+                    tensor.shape(),
+                    store.value(id).shape()
+                ),
+            });
+        }
+        *store.value_mut(id) = tensor;
+    }
     Ok(())
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
+/// A bounds-checked reader over an in-memory byte slice. Running past
+/// the end is always a typed [`NnError::Format`] ("truncated"), never a
+/// panic — both weight-file parsers are built on it.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(NnError::Format {
+                context: format!(
+                    "truncated file: needed {n} bytes at offset {}, {} remain",
+                    self.pos,
+                    self.remaining()
+                ),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
 }
 
 #[cfg(test)]
@@ -236,15 +329,43 @@ mod tests {
             }
         }
 
-        // A truncated file fails mid-read with an I/O error at every
-        // prefix length (header, name, shape, or data cut short).
+        // A truncated file fails the payload-length check at every
+        // prefix length (header, name, shape, or data cut short) — a
+        // typed format error, never garbage weights.
         for cut in [pristine.len() - 1, pristine.len() / 2, 6, 2] {
             std::fs::write(&path, &pristine[..cut]).unwrap();
-            assert!(
-                matches!(load_params(&mut fresh(), &path), Err(NnError::Io(_))),
-                "prefix of {cut} bytes must fail as truncated"
-            );
+            let err = load_params(&mut fresh(), &path).unwrap_err();
+            match err {
+                NnError::Format { context } => assert!(
+                    context.contains("truncated") || context.contains("unsupported"),
+                    "prefix of {cut} bytes: unexpected context {context}"
+                ),
+                other => panic!("prefix of {cut} bytes: expected Format, got {other:?}"),
+            }
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_count_cannot_cause_huge_allocation() {
+        // A header that declares a giant tensor over a tiny payload must
+        // be rejected before any allocation happens.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one parameter
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name "w"
+        bytes.push(b'w');
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // rank 1
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd extent
+        let path = temp_path("huge");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(&[1]));
+        assert!(matches!(
+            load_params(&mut store, &path),
+            Err(NnError::Format { .. })
+        ));
         std::fs::remove_file(path).ok();
     }
 

@@ -32,9 +32,11 @@ impl<S: Sense> ServerBuilder<S> {
     /// replica (clamped to at least 1).
     ///
     /// Defaults to the ambient worker count
-    /// ([`parallel::default_threads`]) — one replica per core. Each
-    /// replica is a full copy of the model weights; scale this down on
-    /// memory-tight nodes.
+    /// ([`parallel::default_threads`]) — one replica per core. Replicas
+    /// share one read-only copy of the model weights
+    /// ([`PipelineBuilder::build_replicas`]), so scaling workers adds
+    /// session/backend state but not weight memory (see
+    /// [`ServerStats::resident_weight_bytes`]).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -56,6 +58,23 @@ impl<S: Sense> ServerBuilder<S> {
     pub fn with_batch_policy(mut self, policy: BatchPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Loads the recipe's model weights from the sealed `.spx` artifact
+    /// at `path` (see [`PipelineBuilder::with_artifact`]).
+    ///
+    /// The artifact's payload is read once and shared read-only across
+    /// every worker replica, so weight memory stays ~flat as
+    /// [`with_workers`](Self::with_workers) scales — observable via
+    /// [`ServerStats::resident_weight_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Nn`] when the artifact cannot be opened or does
+    /// not match the model.
+    pub fn with_artifact(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, Error> {
+        self.recipe = self.recipe.with_artifact(path)?;
+        Ok(self)
     }
 
     /// Pins the data-parallel worker count *inside* each replica,
@@ -100,9 +119,14 @@ impl<S: Sense> ServerBuilder<S> {
         let cfg = model.encoder().config();
         let expected_clip = [model.mask().num_slots(), cfg.height, cfg.width];
         let num_classes = model.num_classes();
+        // Weights are fixed for the server's lifetime, so resident
+        // bytes are measured once, before the replicas move into their
+        // threads. build_replicas shares one read-only storage, so this
+        // stays ~flat in the worker count.
+        let resident_weight_bytes = snappix::resident_weight_bytes(&replicas) as u64;
 
         let queue = Arc::new(SharedQueue::new(self.queue_depth));
-        let recorder = Arc::new(Recorder::new());
+        let recorder = Arc::new(Recorder::new(resident_weight_bytes));
         let mut handles = Vec::with_capacity(workers);
         for (i, replica) in replicas.into_iter().enumerate() {
             let worker_queue = Arc::clone(&queue);

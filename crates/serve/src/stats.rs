@@ -91,6 +91,13 @@ pub struct ServerStats {
     pub batch_sizes: Vec<u64>,
     /// Requests sitting in the admission queue right now.
     pub queue_depth: usize,
+    /// Bytes of model weights resident in memory across all worker
+    /// replicas, counting each shared storage buffer once. Replicas
+    /// share one read-only weight storage, so this stays ~flat as
+    /// workers scale — the observable form of the zero-copy artifact
+    /// refactor. Weights are fixed at build time, so this is a
+    /// constant, not a counter.
+    pub resident_weight_bytes: u64,
     /// Time since the server started.
     pub uptime: Duration,
     /// Time requests spent queued before their batch was claimed.
@@ -213,10 +220,11 @@ impl fmt::Display for ServerStats {
         )?;
         writeln!(
             f,
-            "batches: {} executed, mean size {:.2}, queue depth {}",
+            "batches: {} executed, mean size {:.2}, queue depth {}, resident weights {} B",
             self.batches,
             self.mean_batch_size(),
             self.queue_depth,
+            self.resident_weight_bytes,
         )?;
         writeln!(
             f,
@@ -283,13 +291,16 @@ struct Counters {
 #[derive(Debug)]
 pub(crate) struct Recorder {
     started: Instant,
+    /// Fixed at build time: weights never change while serving.
+    resident_weight_bytes: u64,
     counters: Mutex<Counters>,
 }
 
 impl Recorder {
-    pub fn new() -> Self {
+    pub fn new(resident_weight_bytes: u64) -> Self {
         Recorder {
             started: Instant::now(),
+            resident_weight_bytes,
             counters: Mutex::new(Counters::default()),
         }
     }
@@ -361,6 +372,7 @@ impl Recorder {
                     batches: c.batches,
                     batch_sizes: c.batch_sizes.clone(),
                     queue_depth,
+                    resident_weight_bytes: self.resident_weight_bytes,
                     uptime: self.started.elapsed(),
                     queue_latency: LatencySummary::default(),
                     compute_latency: LatencySummary::default(),
@@ -381,7 +393,7 @@ mod tests {
 
     #[test]
     fn accounting_is_conserved_across_outcomes() {
-        let r = Recorder::new();
+        let r = Recorder::new(1024);
         for _ in 0..10 {
             r.record_admitted();
         }
@@ -413,18 +425,20 @@ mod tests {
         assert_eq!(s.batch_sizes[3], 1);
         assert_eq!(s.batch_sizes[2], 1);
         assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.resident_weight_bytes, 1024);
         assert_eq!(s.queue_latency.samples, 7);
         assert_eq!(s.compute_latency.samples, 1);
         assert!((s.mean_batch_size() - 2.5).abs() < 1e-9);
         assert!(s.throughput() >= 0.0);
         let text = s.to_string();
         assert!(text.contains("batches: 2"));
+        assert!(text.contains("resident weights 1024 B"));
         assert!(text.contains("p99"));
     }
 
     #[test]
     fn conservation_helpers_detect_drift() {
-        let r = Recorder::new();
+        let r = Recorder::new(0);
         for _ in 0..6 {
             r.record_admitted();
         }
@@ -460,7 +474,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "accounting drift")]
     fn debug_assert_conserved_panics_on_drift_in_debug_builds() {
-        let mut s = Recorder::new().snapshot(0);
+        let mut s = Recorder::new(0).snapshot(0);
         s.completed = 1; // never admitted
         if cfg!(debug_assertions) {
             s.debug_assert_conserved();

@@ -94,15 +94,16 @@ mod report;
 pub use error::Error;
 pub use node::EdgeNode;
 pub use pipeline::{
-    Inference, IntoPredictions, Pipeline, PipelineBuilder, Prediction, Predictions,
+    resident_weight_bytes, Inference, IntoPredictions, Pipeline, PipelineBuilder, Prediction,
+    Predictions,
 };
 pub use report::{evaluate_deployment, DeploymentReport};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::{
-        evaluate_deployment, DeploymentReport, EdgeNode, Error, Inference, Pipeline,
-        PipelineBuilder, Prediction,
+        evaluate_deployment, resident_weight_bytes, DeploymentReport, EdgeNode, Error, Inference,
+        Pipeline, PipelineBuilder, Prediction,
     };
     pub use snappix_ce::{
         encode, encode_batch, encode_batch_normalized, encode_normalized,
@@ -114,6 +115,9 @@ pub mod prelude {
         evaluate_accuracy, measure_inference_rate, train_action_model, ActionModel, C3d,
         DownsampleVideoVit, MaeConfig, MaePretrainer, SnapPixAr, SnapPixRec, Svc2d, TrainOptions,
         VideoVit, VitConfig,
+    };
+    pub use snappix_nn::{
+        convert_params_to_artifact, load_params, save_params, write_artifact, ArtifactReader,
     };
     pub use snappix_sensor::{CeSensor, HardwareSensor, Readout, ReadoutConfig};
     pub use snappix_tensor::parallel;

@@ -13,9 +13,10 @@
 use crate::Error;
 use snappix_ce::{AlgorithmicEncoder, Sense};
 use snappix_models::{ActionModel, SnapPixAr};
-use snappix_nn::SessionPool;
+use snappix_nn::{ArtifactReader, SessionPool};
 use snappix_sensor::{HardwareSensor, ReadoutConfig};
 use snappix_tensor::{parallel, Tensor};
+use std::path::Path;
 
 /// Runs `f` under the pipeline's worker-count override, when one is set.
 fn with_pool<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
@@ -275,6 +276,39 @@ impl<S: Sense> PipelineBuilder<S> {
         self
     }
 
+    /// Loads the model's weights from the sealed `.spx` artifact at
+    /// `path`.
+    ///
+    /// The artifact's payload is read into memory once and every
+    /// parameter becomes a zero-copy window into that one shared
+    /// buffer, so [`build_replicas`](Self::build_replicas) stamps out
+    /// replicas that all reference the same weight storage instead of n
+    /// deep copies. To share one already-open artifact across several
+    /// builders (e.g. a model registry), use
+    /// [`with_artifact_reader`](Self::with_artifact_reader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Nn`] when the artifact cannot be opened or
+    /// validated, or when its tensors do not match the model's
+    /// parameters (unknown names, shape mismatches).
+    pub fn with_artifact(self, path: impl AsRef<Path>) -> Result<Self, Error> {
+        let reader = ArtifactReader::open(path)?;
+        self.with_artifact_reader(&reader)
+    }
+
+    /// Loads the model's weights from an already-open
+    /// [`ArtifactReader`], sharing its payload buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Nn`] when the artifact's tensors do not match
+    /// the model's parameters.
+    pub fn with_artifact_reader(mut self, reader: &ArtifactReader) -> Result<Self, Error> {
+        reader.load_into(self.model.store_mut())?;
+        Ok(self)
+    }
+
     /// Assembles the pipeline, validating that the backend and the model
     /// run the same exposure mask and agree on exposure-count
     /// normalization.
@@ -319,20 +353,26 @@ impl<S: Sense> PipelineBuilder<S> {
 
     /// Assembles `replicas` identical pipelines from this one recipe.
     ///
-    /// Every replica carries its own copy of the model weights and the
-    /// backend (including any backend RNG state — replicas with a noisy
-    /// readout draw independent, identically-seeded noise streams) plus a
-    /// fresh private session, so each can serve inference from its own
-    /// thread without sharing mutable state. This is the construction
-    /// path behind `snappix-serve`'s worker pool.
+    /// The model's weights are moved into shared read-only storage
+    /// first, so every replica references the *same* buffers — one
+    /// resident copy of the weights however many workers serve from
+    /// them (weights loaded via [`with_artifact`](Self::with_artifact)
+    /// already share the artifact's single payload buffer). Each
+    /// replica still owns its backend copy (including any backend RNG
+    /// state — replicas with a noisy readout draw independent,
+    /// identically-seeded noise streams) and a fresh private session,
+    /// so the inference hot path stays lock-free and each replica can
+    /// serve from its own thread. This is the construction path behind
+    /// `snappix-serve`'s worker pool.
     ///
     /// # Errors
     ///
     /// Same validation as [`build`](Self::build).
-    pub fn build_replicas(self, replicas: usize) -> Result<Vec<Pipeline<S>>, Error>
+    pub fn build_replicas(mut self, replicas: usize) -> Result<Vec<Pipeline<S>>, Error>
     where
         S: Clone,
     {
+        self.model.store_mut().make_shared();
         let mut out = Vec::with_capacity(replicas);
         for _ in 1..replicas {
             out.push(self.clone().build()?);
@@ -411,12 +451,16 @@ impl<S: Sense + Clone> Pipeline<S> {
     /// Stamps out a new pipeline running the same model and backend as
     /// this one.
     ///
-    /// The replica gets its own copy of the weights and backend state, a
-    /// fresh session, and an *empty* micro-batch queue (clips pending in
-    /// this pipeline are not copied). Because `self` was already
-    /// validated at build time, no re-validation is needed — this is the
-    /// cheap way to scale an existing engine across worker threads.
-    pub fn replicate(&self) -> Pipeline<S> {
+    /// The weights are moved into shared read-only storage first (hence
+    /// `&mut self`), so the replica references the same buffers as this
+    /// pipeline instead of deep-copying them. The replica gets its own
+    /// backend state, a fresh session, and an *empty* micro-batch queue
+    /// (clips pending in this pipeline are not copied). Because `self`
+    /// was already validated at build time, no re-validation is needed —
+    /// this is the cheap way to scale an existing engine across worker
+    /// threads.
+    pub fn replicate(&mut self) -> Pipeline<S> {
+        self.model.store_mut().make_shared();
         Pipeline {
             model: self.model.clone(),
             backend: self.backend.clone(),
@@ -468,6 +512,14 @@ where
     /// applies.
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// Bytes of weight memory this pipeline keeps resident, counting
+    /// each shared buffer once. For fleet-wide accounting across
+    /// replicas use [`resident_weight_bytes`], which deduplicates
+    /// buffers shared *between* pipelines.
+    pub fn weight_bytes(&self) -> usize {
+        snappix_nn::resident_weight_bytes([self.model.store()])
     }
 
     /// Senses one `[t, h, w]` clip into the coded image the node would
@@ -600,6 +652,23 @@ where
         let labels = logits.argmax_axis(1)?;
         Ok(Inference { logits, labels })
     }
+}
+
+/// Bytes of weight memory actually resident across `pipelines`,
+/// counting each shared backing buffer once no matter how many replicas
+/// reference it.
+///
+/// Replicas stamped out by [`PipelineBuilder::build_replicas`] (or
+/// loaded from one artifact) share storage, so n of them cost the same
+/// as one; independently built pipelines each contribute their own
+/// copy. This is the number `snappix-serve` surfaces in its
+/// `ServerStats`.
+pub fn resident_weight_bytes<'a, S, I>(pipelines: I) -> usize
+where
+    S: Sense + 'a,
+    I: IntoIterator<Item = &'a Pipeline<S>>,
+{
+    snappix_nn::resident_weight_bytes(pipelines.into_iter().map(|p| p.model.store()))
 }
 
 #[cfg(test)]
@@ -810,6 +879,85 @@ mod tests {
             .with_backend(bad)
             .build_replicas(2)
             .is_err());
+    }
+
+    #[test]
+    fn artifact_loaded_pipeline_matches_load_params() {
+        use snappix_nn::{load_params, save_params, write_artifact};
+        let mut path = std::env::temp_dir();
+        path.push(format!("snappix_pipeline_artifact_{}", std::process::id()));
+        let spx = path.with_extension("spx");
+        let snpx = path.with_extension("snpx");
+
+        // Fresh models are seeded, so one instance's weights stand in
+        // for a trained checkpoint.
+        let trained = model();
+        save_params(trained.store(), &snpx).unwrap();
+        write_artifact(trained.store(), &spx).unwrap();
+
+        let mut legacy_model = model();
+        load_params(legacy_model.store_mut(), &snpx).unwrap();
+        let mut legacy = Pipeline::builder(legacy_model).build().unwrap();
+        let mut from_artifact = Pipeline::builder(model())
+            .with_artifact(&spx)
+            .unwrap()
+            .build()
+            .unwrap();
+
+        let clips = clips(3);
+        let a = legacy.infer(&clips).unwrap();
+        let b = from_artifact.infer(&clips).unwrap();
+        assert!(
+            a.logits.approx_eq(&b.logits, 0.0),
+            "artifact weights must be bit-for-bit equal to load_params weights"
+        );
+        assert_eq!(a.labels, b.labels);
+
+        // A malformed artifact is a typed error through the builder.
+        std::fs::write(&spx, b"garbage").unwrap();
+        assert!(matches!(
+            Pipeline::builder(model()).with_artifact(&spx),
+            Err(Error::Nn(_))
+        ));
+        std::fs::remove_file(spx).ok();
+        std::fs::remove_file(snpx).ok();
+    }
+
+    #[test]
+    fn replicas_share_one_weight_storage() {
+        use std::sync::Arc;
+        let solo = Pipeline::builder(model()).build().unwrap();
+        let solo_bytes = solo.weight_bytes();
+        assert!(solo_bytes > 0);
+
+        let replicas = Pipeline::builder(model()).build_replicas(4).unwrap();
+        // Every replica's every parameter points at the same buffer as
+        // replica 0's.
+        let first = replicas[0].model().store();
+        for replica in &replicas[1..] {
+            let store = replica.model().store();
+            for (id_a, id_b) in first.ids().into_iter().zip(store.ids()) {
+                assert!(Arc::ptr_eq(
+                    first.value(id_a).shared_buffer().unwrap(),
+                    store.value(id_b).shared_buffer().unwrap()
+                ));
+            }
+        }
+        // Four replicas resident ≈ one copy, not four.
+        assert_eq!(resident_weight_bytes(&replicas), solo_bytes);
+        assert_eq!(
+            replicas.iter().map(Pipeline::weight_bytes).sum::<usize>(),
+            4 * solo_bytes
+        );
+
+        // replicate() shares too.
+        let mut original = Pipeline::builder(model()).build().unwrap();
+        let copy = original.replicate();
+        assert_eq!(
+            resident_weight_bytes([&original, &copy]),
+            solo_bytes,
+            "replicate() must not deep-copy the weights"
+        );
     }
 
     #[test]

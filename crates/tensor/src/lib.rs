@@ -35,11 +35,13 @@ mod ops;
 pub mod parallel;
 mod random;
 mod shape;
+mod storage;
 mod tensor;
 
 pub use error::TensorError;
 pub use ops::argmax_coords;
 pub use shape::{broadcast_shapes, strides_for, Shape};
+pub use storage::{DType, SharedBuffer, Storage};
 pub use tensor::Tensor;
 
 /// Convenient result alias used across this crate.

@@ -1,0 +1,248 @@
+//! Where a tensor's elements live: an owned buffer or a shared
+//! read-only view, plus the element-type tag.
+//!
+//! Every [`Tensor`](crate::Tensor) used to own a private `Vec<f32>`;
+//! that is still the default, and every mutable path (training,
+//! optimizers, in-place kernels) behaves exactly as before. The
+//! [`Storage`] enum adds a second home: a read-only window into an
+//! [`Arc`]-backed buffer that any number of tensors — across any number
+//! of threads — reference without copying. One model artifact loaded
+//! into memory once can back every worker replica of a serving fleet;
+//! cloning such a tensor bumps a reference count instead of copying
+//! megabytes of weights.
+//!
+//! Mutation of a shared tensor is *copy-on-write*: the first
+//! `as_mut_slice` detaches a private owned copy, so read-only sharing
+//! can never be observed through aliased writes.
+
+use std::sync::Arc;
+
+/// The reference-counted buffer behind [`Storage::Shared`] tensors.
+///
+/// A plain `Arc<Vec<f32>>`: constructing one from an existing `Vec` is
+/// a move, not a copy, and clones are reference-count bumps. Two
+/// tensors share storage exactly when their buffers are
+/// [`Arc::ptr_eq`].
+pub type SharedBuffer = Arc<Vec<f32>>;
+
+/// Element type of a tensor's storage.
+///
+/// All in-memory compute is `f32` today; the enum exists so the model
+/// artifact format and the storage layer have a place where quantized
+/// element types (`i8`, `f16`) land without another format revision —
+/// each variant fixes an on-disk encoding and an element size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DType {
+    /// 32-bit IEEE-754 floats, little-endian on disk.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 => 4,
+        }
+    }
+
+    /// The stable one-byte tag this dtype serializes as (`.spx`
+    /// tensor-info table). Tags are append-only: existing values never
+    /// change meaning.
+    pub fn tag(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+        }
+    }
+
+    /// Decodes a serialized tag; `None` for tags this build does not
+    /// know (a newer artifact, or corruption).
+    pub fn from_tag(tag: u8) -> Option<DType> {
+        match tag {
+            0 => Some(DType::F32),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// The elements behind one [`Tensor`](crate::Tensor).
+#[derive(Debug, Clone)]
+pub enum Storage {
+    /// A private, mutable buffer — the default, and the only variant
+    /// training and optimizer paths ever see.
+    Owned(Vec<f32>),
+    /// A read-only window (`offset..offset + len`) into a buffer shared
+    /// with other tensors. Cloning is a reference-count bump; mutation
+    /// detaches a private copy first (copy-on-write).
+    Shared {
+        /// The shared backing buffer.
+        buf: SharedBuffer,
+        /// First element of this tensor's window.
+        offset: usize,
+        /// Number of elements in this tensor's window.
+        len: usize,
+    },
+}
+
+impl Storage {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::Owned(v) => v.len(),
+            Storage::Shared { len, .. } => *len,
+        }
+    }
+
+    /// Returns `true` when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element type of this storage. All in-memory storage is `f32`
+    /// today; quantized variants will carry their own tag.
+    pub fn dtype(&self) -> DType {
+        DType::F32
+    }
+
+    /// The elements as a read-only slice.
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared { buf, offset, len } => &buf[*offset..*offset + *len],
+        }
+    }
+
+    /// Returns `true` when this storage is a shared read-only view.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Storage::Shared { .. })
+    }
+
+    /// The shared backing buffer, when there is one. Use
+    /// [`Arc::ptr_eq`] on two buffers to test whether two tensors share
+    /// storage.
+    pub fn shared_buffer(&self) -> Option<&SharedBuffer> {
+        match self {
+            Storage::Shared { buf, .. } => Some(buf),
+            Storage::Owned(_) => None,
+        }
+    }
+
+    /// Mutable access, detaching a private owned copy first when the
+    /// storage is shared (copy-on-write). After this call the storage
+    /// is always [`Storage::Owned`].
+    pub fn make_mut(&mut self) -> &mut [f32] {
+        if let Storage::Shared { buf, offset, len } = self {
+            let owned = buf[*offset..*offset + *len].to_vec();
+            *self = Storage::Owned(owned);
+        }
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared { .. } => unreachable!("detached above"),
+        }
+    }
+
+    /// Consumes the storage and returns an owned element vector
+    /// (copying out of a shared buffer).
+    pub fn into_vec(self) -> Vec<f32> {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared { buf, offset, len } => buf[offset..offset + len].to_vec(),
+        }
+    }
+
+    /// Converts owned storage into a shared view over a fresh
+    /// single-owner buffer — a move, not a copy. Shared storage is
+    /// returned unchanged, keeping its existing buffer.
+    pub fn into_shared(self) -> Storage {
+        match self {
+            Storage::Owned(v) => {
+                let len = v.len();
+                Storage::Shared {
+                    buf: Arc::new(v),
+                    offset: 0,
+                    len,
+                }
+            }
+            shared @ Storage::Shared { .. } => shared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_round_trips_through_tags() {
+        assert_eq!(DType::from_tag(DType::F32.tag()), Some(DType::F32));
+        assert_eq!(DType::from_tag(0xff), None);
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn owned_and_shared_views_agree() {
+        let owned = Storage::Owned(vec![1.0, 2.0, 3.0, 4.0]);
+        let buf: SharedBuffer = Arc::new(vec![0.0, 1.0, 2.0, 3.0, 4.0, 9.0]);
+        let shared = Storage::Shared {
+            buf: Arc::clone(&buf),
+            offset: 1,
+            len: 4,
+        };
+        assert_eq!(owned.as_slice(), shared.as_slice());
+        assert_eq!(shared.len(), 4);
+        assert!(!shared.is_empty());
+        assert!(shared.is_shared());
+        assert!(!owned.is_shared());
+        assert!(Arc::ptr_eq(shared.shared_buffer().unwrap(), &buf));
+        assert!(owned.shared_buffer().is_none());
+        assert_eq!(owned.dtype(), DType::F32);
+    }
+
+    #[test]
+    fn make_mut_detaches_shared_storage() {
+        let buf: SharedBuffer = Arc::new(vec![1.0, 2.0, 3.0]);
+        let mut a = Storage::Shared {
+            buf: Arc::clone(&buf),
+            offset: 0,
+            len: 3,
+        };
+        let b = a.clone();
+        a.make_mut()[0] = 99.0;
+        // The write went to a private copy; the shared buffer and every
+        // other view are untouched.
+        assert!(!a.is_shared());
+        assert_eq!(a.as_slice(), &[99.0, 2.0, 3.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+        // make_mut on owned storage is free and idempotent.
+        a.make_mut()[1] = 50.0;
+        assert_eq!(a.as_slice(), &[99.0, 50.0, 3.0]);
+    }
+
+    #[test]
+    fn into_shared_moves_without_copying_and_clones_share() {
+        let s = Storage::Owned(vec![5.0; 8]).into_shared();
+        assert!(s.is_shared());
+        let t = s.clone();
+        assert!(Arc::ptr_eq(
+            s.shared_buffer().unwrap(),
+            t.shared_buffer().unwrap()
+        ));
+        // into_shared on already-shared storage keeps the same buffer.
+        let u = t.clone().into_shared();
+        assert!(Arc::ptr_eq(
+            s.shared_buffer().unwrap(),
+            u.shared_buffer().unwrap()
+        ));
+        assert_eq!(u.into_vec(), vec![5.0; 8]);
+    }
+}

@@ -1,13 +1,18 @@
 use crate::shape::{broadcast_strides, strides_for};
+use crate::storage::{DType, SharedBuffer, Storage};
 use crate::{broadcast_shapes, Result, TensorError};
 
 /// A dense, row-major, contiguous `f32` tensor.
 ///
 /// `Tensor` is the numeric workhorse of the SnapPix reproduction. It stores
-/// its elements in a single `Vec<f32>` in C order and carries its shape as a
-/// `Vec<usize>`. All operations allocate fresh output tensors; in-place
-/// variants are provided where the training loops need them
-/// (e.g. [`Tensor::add_assign`]).
+/// its elements contiguously in C order behind a [`Storage`] — a private
+/// `Vec<f32>` by default, or a read-only window into a shared
+/// [`SharedBuffer`] for weights loaded from a model artifact and fanned
+/// out across serving replicas. All operations allocate fresh (owned)
+/// output tensors; in-place variants are provided where the training
+/// loops need them (e.g. [`Tensor::add_assign`]), and mutating a shared
+/// tensor transparently detaches a private copy first (copy-on-write),
+/// so shared storage is never observable through aliased writes.
 ///
 /// # Examples
 ///
@@ -22,10 +27,19 @@ use crate::{broadcast_shapes, Result, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Vec<usize>,
+}
+
+/// Value equality: same shape, same elements (positionally, with IEEE
+/// `f32` semantics — `NaN != NaN`). Where the elements *live* (owned
+/// vs. shared storage) never affects equality.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Tensor {
@@ -36,7 +50,7 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         Tensor {
-            data: vec![0.0; shape.iter().product()],
+            data: Storage::Owned(vec![0.0; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -49,7 +63,7 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         Tensor {
-            data: vec![value; shape.iter().product()],
+            data: Storage::Owned(vec![value; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -57,7 +71,7 @@ impl Tensor {
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: vec![value],
+            data: Storage::Owned(vec![value]),
             shape: vec![],
         }
     }
@@ -77,7 +91,42 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data,
+            data: Storage::Owned(data),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a tensor whose elements are a read-only window of `count
+    /// = shape.iter().product()` elements at `offset` into a shared
+    /// buffer — zero-copy: the tensor references `buf` instead of
+    /// copying it, and so does every [`Clone`] of the tensor.
+    ///
+    /// This is the constructor model-artifact readers use to hand every
+    /// serving replica a view of one buffer. Mutating accessors
+    /// (e.g. [`Tensor::as_mut_slice`]) detach a private copy first, so
+    /// the shared buffer itself stays immutable for its lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the window
+    /// `offset..offset + count` does not lie inside `buf`.
+    pub fn from_shared(buf: SharedBuffer, offset: usize, shape: &[usize]) -> Result<Self> {
+        let count: usize = shape.iter().product();
+        let end = offset.checked_add(count);
+        if end.is_none_or(|end| end > buf.len()) {
+            return Err(TensorError::InvalidArgument {
+                context: format!(
+                    "shared window {offset}..{offset}+{count} exceeds buffer of {} elements",
+                    buf.len()
+                ),
+            });
+        }
+        Ok(Tensor {
+            data: Storage::Shared {
+                buf,
+                offset,
+                len: count,
+            },
             shape: shape.to_vec(),
         })
     }
@@ -85,7 +134,7 @@ impl Tensor {
     /// Creates a 1-D tensor with values `0, 1, ..., n-1`.
     pub fn arange(n: usize) -> Self {
         Tensor {
-            data: (0..n).map(|i| i as f32).collect(),
+            data: Storage::Owned((0..n).map(|i| i as f32).collect()),
             shape: vec![n],
         }
     }
@@ -103,7 +152,7 @@ impl Tensor {
         }
         let step = (stop - start) / (n - 1) as f32;
         Tensor {
-            data: (0..n).map(|i| start + step * i as f32).collect(),
+            data: Storage::Owned((0..n).map(|i| start + step * i as f32).collect()),
             shape: vec![n],
         }
     }
@@ -111,8 +160,9 @@ impl Tensor {
     /// Creates an `n x n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros(&[n, n]);
+        let data = t.data.make_mut();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
         t
     }
@@ -143,17 +193,60 @@ impl Tensor {
 
     /// Elements as a flat row-major slice.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Elements as a mutable flat row-major slice.
+    ///
+    /// On a tensor over shared storage this detaches a private owned
+    /// copy first (copy-on-write); owned tensors — everything the
+    /// training paths touch — pay nothing.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
-    /// Consumes the tensor and returns its flat element vector.
+    /// Consumes the tensor and returns its flat element vector (copying
+    /// out of shared storage).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
+    }
+
+    /// The storage behind this tensor's elements.
+    pub fn storage(&self) -> &Storage {
+        &self.data
+    }
+
+    /// Element type of this tensor. Always [`DType::F32`] in memory
+    /// today; the tag is the seam where quantized weight paths land.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Returns `true` when this tensor is a read-only view of a shared
+    /// buffer (see [`Tensor::from_shared`] / [`Tensor::into_shared`]).
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
+    }
+
+    /// The shared buffer backing this tensor, when there is one. Two
+    /// tensors share storage exactly when both return `Some` and the
+    /// buffers are [`std::sync::Arc::ptr_eq`].
+    pub fn shared_buffer(&self) -> Option<&SharedBuffer> {
+        self.data.shared_buffer()
+    }
+
+    /// Converts this tensor's storage into a shared buffer other
+    /// tensors (and threads) can reference: owned storage is *moved*
+    /// into a fresh buffer (no copy); already-shared storage keeps its
+    /// buffer. Shape and values are unchanged. Subsequent [`Clone`]s
+    /// are reference-count bumps instead of deep copies — the
+    /// replicate-without-copying primitive serving layers build on.
+    #[must_use]
+    pub fn into_shared(self) -> Self {
+        Tensor {
+            data: self.data.into_shared(),
+            shape: self.shape,
+        }
     }
 
     /// Row-major strides of the tensor.
@@ -168,7 +261,7 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, or
     /// [`TensorError::IndexOutOfRange`] if any coordinate is out of bounds.
     pub fn get(&self, index: &[usize]) -> Result<f32> {
-        Ok(self.data[self.flat_index(index)?])
+        Ok(self.as_slice()[self.flat_index(index)?])
     }
 
     /// Writes `value` at multi-axis `index`.
@@ -178,7 +271,7 @@ impl Tensor {
     /// Same conditions as [`Tensor::get`].
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let flat = self.flat_index(index)?;
-        self.data[flat] = value;
+        self.data.make_mut()[flat] = value;
         Ok(())
     }
 
@@ -194,7 +287,7 @@ impl Tensor {
                 context: format!("item() on tensor with {} elements", self.data.len()),
             });
         }
-        Ok(self.data[0])
+        Ok(self.as_slice()[0])
     }
 
     fn flat_index(&self, index: &[usize]) -> Result<usize> {
@@ -320,11 +413,12 @@ impl Tensor {
         // walk below then visits the source without per-element
         // coordinate math (attention permutes twice per head split).
         let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let src_data = self.as_slice();
         let mut out = Tensor::zeros(&out_shape);
         let mut coords = vec![0usize; rank];
         let mut src = 0usize;
-        for o in out.data.iter_mut() {
-            *o = self.data[src];
+        for o in out.data.make_mut().iter_mut() {
+            *o = src_data[src];
             for axis in (0..rank).rev() {
                 coords[axis] += 1;
                 src += src_strides[axis];
@@ -372,11 +466,12 @@ impl Tensor {
         }
         let rank = shape.len();
         let strides = broadcast_strides(&self.shape, rank);
+        let src_data = self.as_slice();
         let mut out = Tensor::zeros(shape);
         let mut coords = vec![0usize; rank];
         let mut src = 0usize;
-        for o in out.data.iter_mut() {
-            *o = self.data[src];
+        for o in out.data.make_mut().iter_mut() {
+            *o = src_data[src];
             for axis in (0..rank).rev() {
                 coords[axis] += 1;
                 src += strides[axis];
@@ -423,13 +518,14 @@ impl Tensor {
         out_shape[axis] = end - start;
         let outer: usize = self.shape[..axis].iter().product();
         let inner: usize = self.shape[axis + 1..].iter().product();
+        let src = self.as_slice();
         let mut data = Vec::with_capacity(out_shape.iter().product());
         for o in 0..outer {
             let base = o * self.shape[axis] * inner;
-            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+            data.extend_from_slice(&src[base + start * inner..base + end * inner]);
         }
         Ok(Tensor {
-            data,
+            data: Storage::Owned(data),
             shape: out_shape,
         })
     }
@@ -441,14 +537,14 @@ impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Storage::Owned(self.as_slice().iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data.make_mut() {
             *x = f(*x);
         }
     }
@@ -463,13 +559,13 @@ impl Tensor {
         if self.shape == other.shape {
             // Fast path: identical shapes.
             let data = self
-                .data
+                .as_slice()
                 .iter()
-                .zip(&other.data)
+                .zip(other.as_slice())
                 .map(|(&a, &b)| f(a, b))
                 .collect();
             return Ok(Tensor {
-                data,
+                data: Storage::Owned(data),
                 shape: self.shape.clone(),
             });
         }
@@ -482,11 +578,13 @@ impl Tensor {
         // these broadcast ops (bias adds, layer-norm scaling).
         let a_strides = broadcast_strides(&self.shape, rank);
         let b_strides = broadcast_strides(&other.shape, rank);
+        let a_data = self.as_slice();
+        let b_data = other.as_slice();
         let mut out = Tensor::zeros(&out_shape);
         let mut coords = vec![0usize; rank];
         let (mut ai, mut bi) = (0usize, 0usize);
-        for o in out.data.iter_mut() {
-            *o = f(self.data[ai], other.data[bi]);
+        for o in out.data.make_mut().iter_mut() {
+            *o = f(a_data[ai], b_data[bi]);
             for axis in (0..rank).rev() {
                 coords[axis] += 1;
                 ai += a_strides[axis];
@@ -558,7 +656,7 @@ impl Tensor {
                 context: format!("add_assign shapes {:?} vs {:?}", self.shape, other.shape),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.make_mut().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
         Ok(())
@@ -614,9 +712,9 @@ impl Tensor {
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
             && self
-                .data
+                .as_slice()
                 .iter()
-                .zip(&other.data)
+                .zip(other.as_slice())
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
@@ -625,15 +723,11 @@ impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{:?} ", self.shape)?;
         const MAX: usize = 16;
-        if self.data.len() <= MAX {
-            write!(f, "{:?}", self.data)
+        let data = self.as_slice();
+        if data.len() <= MAX {
+            write!(f, "{data:?}")
         } else {
-            write!(
-                f,
-                "{:?}... ({} elements)",
-                &self.data[..MAX],
-                self.data.len()
-            )
+            write!(f, "{:?}... ({} elements)", &data[..MAX], data.len())
         }
     }
 }
@@ -641,6 +735,96 @@ impl std::fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn from_shared_views_window_and_checks_bounds() {
+        let buf: SharedBuffer = Arc::new((0..10).map(|i| i as f32).collect());
+        let t = Tensor::from_shared(Arc::clone(&buf), 2, &[2, 3]).unwrap();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert!(t.is_shared());
+        assert_eq!(t.dtype(), DType::F32);
+        assert!(Arc::ptr_eq(t.shared_buffer().unwrap(), &buf));
+        // One-past-the-end window is rejected, as is offset overflow.
+        assert!(matches!(
+            Tensor::from_shared(Arc::clone(&buf), 5, &[2, 3]),
+            Err(TensorError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            Tensor::from_shared(Arc::clone(&buf), usize::MAX, &[2]),
+            Err(TensorError::InvalidArgument { .. })
+        ));
+        // Exactly-fitting window is fine.
+        assert!(Tensor::from_shared(buf, 4, &[6]).is_ok());
+    }
+
+    #[test]
+    fn shared_tensor_clones_share_storage() {
+        let t = Tensor::arange(8).into_shared();
+        let u = t.clone();
+        assert!(Arc::ptr_eq(
+            t.shared_buffer().unwrap(),
+            u.shared_buffer().unwrap()
+        ));
+        // Owned tensors report no shared buffer.
+        assert!(Tensor::arange(8).shared_buffer().is_none());
+        assert!(!Tensor::arange(8).is_shared());
+    }
+
+    #[test]
+    fn mutating_a_shared_tensor_copies_on_write() {
+        let t = Tensor::arange(4).into_shared();
+        let mut u = t.clone();
+        u.set(&[1], 99.0).unwrap();
+        assert!(!u.is_shared());
+        assert_eq!(u.as_slice(), &[0.0, 99.0, 2.0, 3.0]);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        let mut v = t.clone();
+        v.as_mut_slice()[0] = -1.0;
+        assert_eq!(t.as_slice()[0], 0.0);
+        let mut w = t.clone();
+        w.map_inplace(|x| x + 1.0);
+        assert_eq!(w.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equality_ignores_storage_kind() {
+        let owned = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let shared = owned.clone().into_shared();
+        assert_eq!(owned, shared);
+        assert_ne!(owned, Tensor::zeros(&[2, 3]));
+        assert_ne!(owned, Tensor::arange(6)); // same data, different shape
+    }
+
+    #[test]
+    fn ops_on_shared_tensors_match_owned() {
+        let a = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let sa = a.clone().into_shared();
+        let sb = b.clone().into_shared();
+        assert_eq!(a.add(&b).unwrap(), sa.add(&sb).unwrap());
+        assert_eq!(a.permute(&[1, 0]).unwrap(), sa.permute(&[1, 0]).unwrap());
+        assert_eq!(
+            a.broadcast_to(&[2, 2, 3]).unwrap(),
+            sa.broadcast_to(&[2, 2, 3]).unwrap()
+        );
+        assert_eq!(
+            a.slice_axis(1, 1, 3).unwrap(),
+            sa.slice_axis(1, 1, 3).unwrap()
+        );
+        assert_eq!(a.map(|x| x * 2.0), sa.map(|x| x * 2.0));
+        assert_eq!(format!("{a}"), format!("{sa}"));
+        let c = Tensor::full(&[2, 3], 0.5);
+        let sc = c.clone().into_shared();
+        let mut a2 = a.clone();
+        let mut sa2 = sa.clone();
+        a2.add_assign(&c).unwrap();
+        sa2.add_assign(&sc).unwrap();
+        assert_eq!(a2, sa2);
+        assert_eq!(sa.clone().into_vec(), a.clone().into_vec());
+    }
 
     #[test]
     fn constructors_produce_expected_shapes() {

@@ -1,0 +1,86 @@
+//! The `.spx` weight artifact end to end: train a small model, save a
+//! legacy `.snpx` checkpoint, convert it to a sealed `.spx` artifact,
+//! reload through both paths, prove the answers are bit-for-bit equal,
+//! and show the memory win of sharing one read-only payload across a
+//! fleet of replicas.
+//!
+//! Run with `cargo run --release --example artifact`.
+
+use snappix_serve::prelude::*;
+use std::time::Duration;
+
+const T: usize = 4;
+const HW: usize = 16;
+const CLASSES: usize = 10; // ssv2_like's class count
+const REPLICAS: usize = 4;
+
+fn model() -> Result<SnapPixAr, snappix::Error> {
+    let mask = patterns::long_exposure(T, (8, 8))?;
+    Ok(SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train-lite: a couple of epochs on a procedural dataset is
+    //    enough to make these weights "a checkpoint worth deploying".
+    let data = Dataset::new(ssv2_like(T, HW, HW), 40);
+    let mut trained = model()?;
+    let report = train_action_model(&mut trained, &data, &TrainOptions::experiment(2))?;
+    println!(
+        "trained {} steps, final loss {:.4}",
+        report.steps,
+        report.final_loss()
+    );
+
+    // 2. Save the legacy stream, then convert it to a sealed artifact.
+    let base = std::env::temp_dir().join(format!("snappix_example_{}", std::process::id()));
+    let snpx = base.with_extension("snpx");
+    let spx = base.with_extension("spx");
+    save_params(trained.store(), &snpx)?;
+    convert_params_to_artifact(&snpx, &spx)?;
+    println!(
+        "checkpoint: {} B legacy -> {} B artifact (64 B header + table + 64-aligned payload + checksum)",
+        std::fs::metadata(&snpx)?.len(),
+        std::fs::metadata(&spx)?.len(),
+    );
+
+    // 3. Reload through both paths and classify the same batch.
+    let mut legacy_model = model()?;
+    load_params(legacy_model.store_mut(), &snpx)?;
+    let mut legacy = Pipeline::builder(legacy_model).build()?;
+    let mut artifact = Pipeline::builder(model()?).with_artifact(&spx)?.build()?;
+    let batch = data.batch(0, 8);
+    let a = legacy.infer(&batch.videos)?;
+    let b = artifact.infer(&batch.videos)?;
+    assert!(
+        a.logits.approx_eq(&b.logits, 0.0),
+        "artifact answers must be bit-for-bit the load_params answers"
+    );
+    println!("both load paths predict {:?} (bit-for-bit equal)", b.labels);
+
+    // 4. The point of the artifact: replicas share one payload buffer.
+    let replicas = Pipeline::builder(model()?)
+        .with_artifact(&spx)?
+        .build_replicas(REPLICAS)?;
+    let resident = resident_weight_bytes(&replicas);
+    let naive: usize = replicas.iter().map(Pipeline::weight_bytes).sum();
+    println!(
+        "{REPLICAS} replicas: {resident} B resident vs {naive} B if deep-copied ({:.2}x saved)",
+        naive as f64 / resident as f64
+    );
+
+    // 5. The same sharing through the serving layer, on the stats page.
+    let server = Server::builder(Pipeline::builder(model()?))
+        .with_artifact(&spx)?
+        .with_workers(REPLICAS)
+        .with_batch_policy(BatchPolicy::new(4, Duration::from_millis(2)))
+        .build()?;
+    for i in 0..8 {
+        server.classify(data.sample(i).video.frames())?;
+    }
+    let stats = server.shutdown();
+    println!("\n--- server telemetry ---\n{stats}");
+
+    std::fs::remove_file(snpx).ok();
+    std::fs::remove_file(spx).ok();
+    Ok(())
+}
