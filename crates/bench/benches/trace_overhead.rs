@@ -1,0 +1,118 @@
+//! Criterion macrobench: what does tracing cost the serving hot path?
+//!
+//! Three variants of the `serve` bench's dynamic-batching workload
+//! (same model, same clips, same client fan-in):
+//!
+//! * `tracing_disabled` — the default: every server carries a
+//!   [`Tracer`] field, so even "no tracing" pays the disabled tracer's
+//!   `Option` branches on admission, batch claim, and batch execution.
+//!   This is the number the <2% overhead gate in BENCHMARKS.md is
+//!   about: it must be indistinguishable from the pre-trace serve
+//!   bench.
+//! * `tracing_enabled` — a live tracer recording every span (request,
+//!   queue_wait, batch, compute, plus the pipeline's stage spans) into
+//!   per-thread rings, cleared between iterations so ring rotation
+//!   never enters the measurement.
+//!
+//! The two must also agree on every label — tracing is observation,
+//! not behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_serve::prelude::*;
+
+const T: usize = 16;
+const HW: usize = 16;
+const CLASSES: usize = 10;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 8;
+
+fn model() -> SnapPixAr {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mask = patterns::random(T, (8, 8), 0.5, &mut rng).expect("valid dims");
+    SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask).expect("geometry")
+}
+
+fn clips() -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(0);
+    (0..CLIENTS * PER_CLIENT)
+        .map(|_| Tensor::rand_uniform(&mut rng, &[T, HW, HW], 0.0, 1.0))
+        .collect()
+}
+
+fn server(tracer: Tracer) -> Server {
+    Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_queue_depth(CLIENTS * PER_CLIENT)
+        .with_batch_policy(BatchPolicy::greedy(8))
+        .with_tracer(tracer)
+        .build()
+        .expect("server assembly")
+}
+
+/// One full client burst: every label, in client-major order.
+fn burst(server: &Server, clips: &[Tensor]) -> Vec<usize> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            server
+                                .submit(&clips[client * PER_CLIENT + i])
+                                .expect("admission")
+                                .wait()
+                                .expect("prediction")
+                                .label
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    })
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let clips = clips();
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(30);
+
+    let disabled = server(Tracer::disabled());
+    group.bench_function(
+        format!("tracing_disabled{CLIENTS}x{PER_CLIENT}_{HW}x{HW}"),
+        |b| b.iter(|| burst(&disabled, &clips)),
+    );
+
+    let tracer = Tracer::new();
+    let enabled = server(tracer.clone());
+    group.bench_function(
+        format!("tracing_enabled{CLIENTS}x{PER_CLIENT}_{HW}x{HW}"),
+        |b| {
+            b.iter(|| {
+                let labels = burst(&enabled, &clips);
+                tracer.clear();
+                labels
+            })
+        },
+    );
+    group.finish();
+
+    // Observation, not behaviour: both servers classified identically.
+    let baseline = burst(&disabled, &clips);
+    assert_eq!(
+        burst(&enabled, &clips),
+        baseline,
+        "tracing changed the served labels"
+    );
+    let spans = tracer.snapshot();
+    assert!(!spans.is_empty(), "the enabled tracer recorded the burst");
+    disabled.shutdown();
+    enabled.shutdown();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

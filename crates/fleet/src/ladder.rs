@@ -47,7 +47,7 @@ impl DutyRung {
         }
     }
 
-    fn from_depth(depth: usize) -> DutyRung {
+    pub(crate) fn from_depth(depth: usize) -> DutyRung {
         match depth {
             0 => DutyRung::Full,
             1 => DutyRung::ReducedRate,

@@ -19,6 +19,7 @@ use snappix_serve::{ServeError, Server, Ticket};
 use snappix_stream::{
     Event, EventDetector, FrameSource, OverloadPolicy, Smoother, Smoothing, WindowAssembler,
 };
+use snappix_trace::Tracer;
 
 /// The two event kinds a node alternates between on the virtual-time
 /// heap.
@@ -57,7 +58,10 @@ pub(crate) struct Node<'a> {
     slept: u64,
     rung_changes: u64,
     events: Vec<Event>,
-    trace: Vec<TraceEvent>,
+    /// The node-local span sequence: strictly increasing per node, so
+    /// every `(lane = node, span_id = seq)` pair the node records into
+    /// the shared tracer is unique and snapshot order is deterministic.
+    trace_seq: u64,
     first_sleep_us: Option<u64>,
     end_us: u64,
 }
@@ -140,7 +144,7 @@ impl<'a> Node<'a> {
             slept: 0,
             rung_changes: 0,
             events: Vec::new(),
-            trace: Vec::new(),
+            trace_seq: 0,
             first_sleep_us: None,
             end_us: 0,
             config,
@@ -151,10 +155,26 @@ impl<'a> Node<'a> {
     /// and — if a window completed — step the ladder and decide the
     /// window's fate. Returns the node's next event, or `None` when the
     /// source is exhausted.
+    /// Records one fleet event into the shared tracer as a raw span on
+    /// this node's lane (see [`TraceEvent::to_record`]).
+    fn record(&mut self, tracer: &Tracer, at_us: u64, window: usize, kind: TraceKind) {
+        self.trace_seq += 1;
+        tracer.record_raw(
+            TraceEvent {
+                at_us,
+                node: self.id,
+                window,
+                kind,
+            }
+            .to_record(self.trace_seq),
+        );
+    }
+
     pub(crate) fn advance(
         &mut self,
         at_us: u64,
         server: &Server,
+        tracer: &Tracer,
     ) -> Result<Option<(u64, NodeEvent)>, FleetError> {
         debug_assert!(self.in_flight.is_none(), "one event in flight per node");
         let Some(frame) = self.source.next_frame()? else {
@@ -170,8 +190,8 @@ impl<'a> Node<'a> {
         let submitted = match self.assembler.push(&frame)? {
             Some(window) => {
                 let index = self.assembler.windows_out() - 1;
-                self.step_ladder(at_us, index);
-                self.decide(at_us, index, window, server)?
+                self.step_ladder(at_us, index, tracer);
+                self.decide(at_us, index, window, server, tracer)?
             }
             None => false,
         };
@@ -185,7 +205,11 @@ impl<'a> Node<'a> {
     /// Processes one [`NodeEvent::Collect`]: block on the in-flight
     /// ticket, fold the prediction into smoothing/eventing, and schedule
     /// the next frame.
-    pub(crate) fn collect(&mut self, at_us: u64) -> Result<Option<(u64, NodeEvent)>, FleetError> {
+    pub(crate) fn collect(
+        &mut self,
+        at_us: u64,
+        tracer: &Tracer,
+    ) -> Result<Option<(u64, NodeEvent)>, FleetError> {
         let (index, ticket) = self
             .in_flight
             .take()
@@ -193,14 +217,14 @@ impl<'a> Node<'a> {
         match ticket.wait() {
             Ok(prediction) => {
                 self.inferred += 1;
-                self.trace.push(TraceEvent {
+                self.record(
+                    tracer,
                     at_us,
-                    node: self.id,
-                    window: index,
-                    kind: TraceKind::Inferred {
+                    index,
+                    TraceKind::Inferred {
                         label: prediction.label,
                     },
-                });
+                );
                 let smoothed = self.smoother.observe(&prediction);
                 let at_frame = index * self.config.hop + self.config.window - 1;
                 if let Some(event) = self.detector.observe(self.id, index, at_frame, smoothed) {
@@ -212,12 +236,7 @@ impl<'a> Node<'a> {
                 // transmission happened on the node; the server-side
                 // queue expiring the work refunds nothing.
                 self.expired += 1;
-                self.trace.push(TraceEvent {
-                    at_us,
-                    node: self.id,
-                    window: index,
-                    kind: TraceKind::Expired,
-                });
+                self.record(tracer, at_us, index, TraceKind::Expired);
             }
             Err(e) => return Err(e.into()),
         }
@@ -225,7 +244,7 @@ impl<'a> Node<'a> {
     }
 
     /// One deterministic ladder step ahead of a window decision.
-    fn step_ladder(&mut self, at_us: u64, window: usize) {
+    fn step_ladder(&mut self, at_us: u64, window: usize, tracer: &Tracer) {
         let next = self
             .config
             .ladder
@@ -233,15 +252,15 @@ impl<'a> Node<'a> {
         if next == self.rung {
             return;
         }
-        self.trace.push(TraceEvent {
+        self.record(
+            tracer,
             at_us,
-            node: self.id,
             window,
-            kind: TraceKind::Rung {
+            TraceKind::Rung {
                 from: self.rung,
                 to: next,
             },
-        });
+        );
         self.rung_changes += 1;
         // The LiteSmoothing rung swaps the smoother for raw labels;
         // recovering past it restores the configured smoothing with
@@ -265,14 +284,15 @@ impl<'a> Node<'a> {
         index: usize,
         window: snappix_tensor::Tensor,
         server: &Server,
+        tracer: &Tracer,
     ) -> Result<bool, FleetError> {
         match self.rung {
             DutyRung::Sleep => {
-                self.sleep(at_us, index);
+                self.sleep(at_us, index, tracer);
                 Ok(false)
             }
             DutyRung::Shed => {
-                self.shed_window(at_us, index);
+                self.shed_window(at_us, index, tracer);
                 Ok(false)
             }
             DutyRung::Full | DutyRung::ReducedRate | DutyRung::LiteSmoothing => {
@@ -283,17 +303,17 @@ impl<'a> Node<'a> {
                 };
                 if !index.is_multiple_of(divisor) {
                     // Rate-skip: the node powers down for this window.
-                    self.sleep(at_us, index);
+                    self.sleep(at_us, index, tracer);
                     return Ok(false);
                 }
                 if !self.config.budget.can_afford(self.infer_cost_pj) {
                     // The ladder reacts one window late by design (one
                     // rung per window); an already-flat budget degrades
                     // immediately instead of going negative.
-                    self.shed_window(at_us, index);
+                    self.shed_window(at_us, index, tracer);
                     return Ok(false);
                 }
-                self.submit(at_us, index, window, server)
+                self.submit(at_us, index, window, server, tracer)
             }
         }
     }
@@ -306,6 +326,7 @@ impl<'a> Node<'a> {
         index: usize,
         window: snappix_tensor::Tensor,
         server: &Server,
+        tracer: &Tracer,
     ) -> Result<bool, FleetError> {
         let admitted = match (self.config.overload, self.config.deadline) {
             (OverloadPolicy::Block, None) => server.submit(&window).map(Some),
@@ -334,47 +355,39 @@ impl<'a> Node<'a> {
             None => {
                 // Server-side shed: the capture happened, readout and
                 // transmission did not.
-                self.shed_window(at_us, index);
+                self.shed_window(at_us, index, tracer);
                 Ok(false)
             }
         }
     }
 
     /// Pays for (or degrades) a captured-but-not-inferred window.
-    fn shed_window(&mut self, at_us: u64, index: usize) {
+    fn shed_window(&mut self, at_us: u64, index: usize, tracer: &Tracer) {
         if self.config.budget.try_spend(self.shed_cost_pj) {
             self.shed += 1;
-            self.trace.push(TraceEvent {
-                at_us,
-                node: self.id,
-                window: index,
-                kind: TraceKind::Shed,
-            });
+            self.record(tracer, at_us, index, TraceKind::Shed);
         } else {
             // Cannot even afford the exposure: the window is slept
             // through instead.
-            self.sleep(at_us, index);
+            self.sleep(at_us, index, tracer);
         }
     }
 
     /// Sleeps through a window, paying whatever sleep cost is
     /// affordable (a flat battery sleeps for free).
-    fn sleep(&mut self, at_us: u64, index: usize) {
+    fn sleep(&mut self, at_us: u64, index: usize, tracer: &Tracer) {
         let _ = self
             .config
             .budget
             .try_spend(self.config.sleep_pj_per_window);
         self.slept += 1;
-        self.trace.push(TraceEvent {
-            at_us,
-            node: self.id,
-            window: index,
-            kind: TraceKind::Slept,
-        });
+        self.record(tracer, at_us, index, TraceKind::Slept);
     }
 
-    /// Final accounting: stats, label events, and the node's trace.
-    pub(crate) fn finish(self) -> (NodeStats, Vec<Event>, Vec<TraceEvent>) {
+    /// Final accounting: stats and label events (the trace lives in the
+    /// shared tracer; [`FleetSim::run`](crate::FleetSim::run)
+    /// reconstructs the merged event log from a snapshot).
+    pub(crate) fn finish(self) -> (NodeStats, Vec<Event>) {
         let budget = &self.config.budget;
         let stats = NodeStats {
             frames: self.assembler.frames_in() as u64,
@@ -395,7 +408,7 @@ impl<'a> Node<'a> {
             first_sleep_us: self.first_sleep_us,
             end_us: self.end_us,
         };
-        (stats, self.events, self.trace)
+        (stats, self.events)
     }
 
     /// The per-window inference cost the node was priced at, pJ.

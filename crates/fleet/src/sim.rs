@@ -15,6 +15,7 @@ use crate::node::{Node, NodeEvent};
 use crate::{FleetError, FleetStats, NodeConfig, NodeStats, TraceEvent};
 use snappix_serve::Server;
 use snappix_stream::{Event, FrameSource};
+use snappix_trace::Tracer;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,15 +84,26 @@ pub struct FleetSim<'a> {
     server: &'a Server,
     drivers: usize,
     nodes: Vec<Node<'a>>,
+    tracer: Tracer,
 }
 
+/// Ring capacity of the simulator's default private tracer, per
+/// recording (driver) thread. Fleet events are ~100 bytes each and only
+/// allocate as recorded, so a generous cap costs nothing up front —
+/// and a cap large enough for whole runs is what keeps the report's
+/// trace complete and replayable whatever the driver count (dropped
+/// records would depend on how events spread across driver rings).
+const DEFAULT_FLEET_RING: usize = 1 << 20;
+
 impl<'a> FleetSim<'a> {
-    /// A simulator over `server` with a single driver thread.
+    /// A simulator over `server` with a single driver thread and a
+    /// private event recorder.
     pub fn new(server: &'a Server) -> Self {
         FleetSim {
             server,
             drivers: 1,
             nodes: Vec::new(),
+            tracer: Tracer::builder().ring_capacity(DEFAULT_FLEET_RING).build(),
         }
     }
 
@@ -101,6 +113,25 @@ impl<'a> FleetSim<'a> {
     #[must_use]
     pub fn with_drivers(mut self, drivers: usize) -> Self {
         self.drivers = drivers.max(1);
+        self
+    }
+
+    /// Replaces the simulator's private event recorder with `tracer` —
+    /// typically a clone of the served [`Server`]'s tracer, so fleet
+    /// events (virtual-time instants, one lane per node) and the
+    /// serving layer's spans land in one snapshot and one Chrome-trace
+    /// export. Keep a clone to snapshot after [`run`](Self::run).
+    ///
+    /// The report's [`trace`](FleetReport::trace) is reconstructed from
+    /// this tracer's contents, so a *disabled* tracer means an empty
+    /// report trace, a shared tracer should be
+    /// [`cleared`](Tracer::clear) between runs (stale events would be
+    /// double-counted), and its ring capacity bounds how much of a long
+    /// run survives (the private default keeps 2^20 events per driver
+    /// thread).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -157,6 +188,7 @@ impl<'a> FleetSim<'a> {
             }));
         }
         let seq0 = self.nodes.len() as u64;
+        let tracer = self.tracer;
         let nodes: Vec<Mutex<Node<'a>>> = self.nodes.into_iter().map(Mutex::new).collect();
         let state = Mutex::new(SimState {
             heap,
@@ -169,7 +201,7 @@ impl<'a> FleetSim<'a> {
 
         std::thread::scope(|scope| {
             for _ in 0..drivers {
-                scope.spawn(|| drive(&state, &idle, &nodes, server));
+                scope.spawn(|| drive(&state, &idle, &nodes, server, &tracer));
             }
         });
 
@@ -179,17 +211,24 @@ impl<'a> FleetSim<'a> {
         }
 
         let mut reports = Vec::with_capacity(nodes.len());
-        let mut trace = Vec::new();
         for (id, node) in nodes.into_iter().enumerate() {
             let node = node.into_inner().unwrap_or_else(|p| p.into_inner());
-            let (stats, events, node_trace) = node.finish();
+            let (stats, events) = node.finish();
             debug_assert!(stats.check_conserved(), "node {id} ledgers out of balance");
-            trace.extend(node_trace);
             reports.push(NodeReport { id, stats, events });
         }
-        // Per-node traces are already in virtual-time order; a stable
-        // sort by (time, node) merges them deterministically.
-        trace.sort_by_key(|e| (e.at_us, e.node));
+        // The merged event log comes back out of the shared recorder:
+        // the snapshot's (start_us, lane, span_id) order *is* the
+        // report's (virtual time, node, per-node sequence) order — no
+        // re-sort needed, whatever driver thread recorded each event.
+        // Non-fleet records (a shared tracer also carries serving-layer
+        // spans) decode to None and drop out.
+        let trace: Vec<TraceEvent> = tracer
+            .snapshot()
+            .records
+            .iter()
+            .filter_map(TraceEvent::from_record)
+            .collect();
         let stats = FleetStats::aggregate(reports.iter().map(|n| &n.stats));
         debug_assert!(stats.check_conserved(), "fleet ledger out of balance");
         Ok(FleetReport {
@@ -204,7 +243,13 @@ impl<'a> FleetSim<'a> {
 /// One driver thread: pop the earliest event, run it against its node,
 /// push the follow-up. Exits when the heap is empty with nothing in
 /// process, or the run stops on an error.
-fn drive(state: &Mutex<SimState>, idle: &Condvar, nodes: &[Mutex<Node<'_>>], server: &Server) {
+fn drive(
+    state: &Mutex<SimState>,
+    idle: &Condvar,
+    nodes: &[Mutex<Node<'_>>],
+    server: &Server,
+    tracer: &Tracer,
+) {
     loop {
         let scheduled = {
             let mut st = lock(state);
@@ -232,8 +277,8 @@ fn drive(state: &Mutex<SimState>, idle: &Condvar, nodes: &[Mutex<Node<'_>>], ser
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut node = lock(&nodes[scheduled.node]);
             match scheduled.kind {
-                NodeEvent::Advance => node.advance(scheduled.due_us, server),
-                NodeEvent::Collect => node.collect(scheduled.due_us),
+                NodeEvent::Advance => node.advance(scheduled.due_us, server, tracer),
+                NodeEvent::Collect => node.collect(scheduled.due_us, tracer),
             }
         }));
         let Ok(outcome) = outcome else {

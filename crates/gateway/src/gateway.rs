@@ -2,7 +2,7 @@
 //! thread per connection (bounded by `max_connections`), and a graceful
 //! shutdown path that drains the serving layer underneath.
 
-use crate::handler::{handle, AppState};
+use crate::handler::{handle, AppState, WireTiming};
 use crate::http::{read_request, ParseError, Response};
 use crate::ratelimit::{Limiter, RateLimit};
 use crate::stats::{Endpoint, GatewayStats, Recorder};
@@ -364,17 +364,40 @@ fn run_connection(state: &AppState, stream: &TcpStream, peer: SocketAddr, read_t
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let max_body = state.clip_bytes();
+    let tracer = state.server.tracer().clone();
+    // Consumed by the first request's `accept` span; later requests on
+    // the same keep-alive connection have no accept phase.
+    let mut accepted_us = tracer.is_enabled().then(|| tracer.now_us());
     loop {
+        let parse_start_us = tracer.now_us();
         match read_request(&mut reader, max_body) {
             Ok(request) => {
+                let wire = WireTiming {
+                    accepted_us: accepted_us.take(),
+                    parse_start_us,
+                    parse_end_us: tracer.now_us(),
+                };
                 let started = Instant::now();
-                let (endpoint, mut response) = handle(state, &request, peer.ip());
+                let (endpoint, mut response) = handle(state, &request, peer.ip(), wire);
                 if !request.keep_alive {
                     response.close = true;
                 }
+                let respond_start_us = tracer.now_us();
                 let Ok(written) = response.write_to(&mut writer) else {
                     return;
                 };
+                if let Some(trace) = response.trace {
+                    // The response is on the wire; close the trace with
+                    // a `respond` span under the request span.
+                    tracer.record_span(
+                        "respond",
+                        trace.trace_id,
+                        trace.span_id,
+                        respond_start_us,
+                        tracer.now_us(),
+                        Vec::new(),
+                    );
+                }
                 state.recorder.record_request(
                     endpoint,
                     response.status,

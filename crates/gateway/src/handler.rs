@@ -7,6 +7,8 @@ use crate::ratelimit::Limiter;
 use crate::stats::{Endpoint, Recorder};
 use snappix_serve::{ServeError, Server};
 use snappix_tensor::Tensor;
+use snappix_trace::SpanCtx;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -16,6 +18,32 @@ use std::time::{Duration, Instant};
 /// A request still queued this long after admission is expired by the
 /// serving layer and answered `504` instead of served late.
 pub(crate) const DEADLINE_HEADER: &str = "x-snappix-deadline-ms";
+
+/// Optional caller-chosen trace id on classify (a nonzero integer). The
+/// gateway adopts it instead of minting one, records the request's
+/// spans under it, and echoes it back on the response — so a caller can
+/// correlate its own logs with the gateway's `/debug/trace` output.
+pub(crate) const TRACE_HEADER: &str = "x-snappix-trace";
+
+/// How many of the most recent request traces `GET /debug/trace`
+/// serves; older traces (and eventually the rings themselves) rotate
+/// out, keeping the page bounded.
+const DEBUG_TRACE_LIMIT: usize = 64;
+
+/// Tracer timestamps the connection loop measured before routing: when
+/// the connection was accepted (first request only) and the interval
+/// spent reading + framing the request off the wire. Classify turns
+/// these into `accept`/`parse` spans under its request span.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WireTiming {
+    /// When the connection was accepted — `Some` only for the first
+    /// request of a connection.
+    pub accepted_us: Option<u64>,
+    /// When the request's first read began.
+    pub parse_start_us: u64,
+    /// When the request was fully parsed.
+    pub parse_end_us: u64,
+}
 
 /// Everything a connection handler needs to answer requests, shared
 /// across all connection threads behind one `Arc`.
@@ -36,13 +64,19 @@ impl AppState {
 
 /// Routes one request. The returned endpoint tags the request in the
 /// gateway's telemetry (including 404/405s, under [`Endpoint::Other`]).
-pub(crate) fn handle(state: &AppState, request: &Request, peer: IpAddr) -> (Endpoint, Response) {
+pub(crate) fn handle(
+    state: &AppState,
+    request: &Request,
+    peer: IpAddr,
+    wire: WireTiming,
+) -> (Endpoint, Response) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/classify") => (Endpoint::Classify, classify(state, request, peer)),
+        ("POST", "/v1/classify") => (Endpoint::Classify, classify(state, request, peer, wire)),
         ("GET", "/health") => (Endpoint::Health, health(state)),
         ("GET", "/stats") => (Endpoint::Stats, stats(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
-        (_, "/v1/classify" | "/health" | "/stats" | "/metrics") => (
+        ("GET", "/debug/trace") => (Endpoint::Trace, trace(state)),
+        (_, "/v1/classify" | "/health" | "/stats" | "/metrics" | "/debug/trace") => (
             Endpoint::Other,
             Response::text(405, format!("method {} not allowed here", request.method)),
         ),
@@ -53,10 +87,72 @@ pub(crate) fn handle(state: &AppState, request: &Request, peer: IpAddr) -> (Endp
     }
 }
 
-/// `POST /v1/classify`: admission in layers — shutdown check, per-client
+/// `POST /v1/classify`: the tracing shell around [`classify_inner`] —
+/// adopt or mint the request's trace id, open the `request` span (so
+/// the serving layer's admission inherits it), turn the connection
+/// loop's wire timing into `accept`/`parse` child spans, and echo the
+/// id on the response.
+fn classify(state: &AppState, request: &Request, peer: IpAddr, wire: WireTiming) -> Response {
+    let tracer = state.server.tracer();
+    let trace_id = match request.header(TRACE_HEADER) {
+        None => tracer.new_trace_id(),
+        Some(v) => match v.parse::<u64>() {
+            Ok(id) if id != 0 => id,
+            _ => {
+                return Response::text(
+                    400,
+                    format!("{TRACE_HEADER} must be a nonzero integer trace id"),
+                );
+            }
+        },
+    };
+    let mut span = tracer.span_in(
+        "request",
+        SpanCtx {
+            trace_id,
+            span_id: 0,
+        },
+    );
+    span.arg("endpoint", "classify");
+    let ctx = span.ctx();
+    if tracer.is_enabled() {
+        if let Some(accepted_us) = wire.accepted_us {
+            tracer.record_span(
+                "accept",
+                trace_id,
+                ctx.span_id,
+                accepted_us,
+                wire.parse_start_us,
+                Vec::new(),
+            );
+        }
+        tracer.record_span(
+            "parse",
+            trace_id,
+            ctx.span_id,
+            wire.parse_start_us,
+            wire.parse_end_us,
+            Vec::new(),
+        );
+    }
+    let response = classify_inner(state, request, peer);
+    drop(span);
+    if trace_id != 0 {
+        // Echo even when tracing is off but the client sent an id:
+        // propagation is free and keeps multi-hop correlation working.
+        response.with_trace(SpanCtx {
+            trace_id,
+            span_id: ctx.span_id,
+        })
+    } else {
+        response
+    }
+}
+
+/// The classify admission ladder — shutdown check, per-client
 /// token bucket (429), body decode (400), then the serving layer's
 /// bounded queue (503 on shed) and optional deadline (504 on expiry).
-fn classify(state: &AppState, request: &Request, peer: IpAddr) -> Response {
+fn classify_inner(state: &AppState, request: &Request, peer: IpAddr) -> Response {
     if state.shutting_down.load(Ordering::SeqCst) {
         return Response::text(503, "gateway is shutting down")
             .with_retry_after(1)
@@ -200,6 +296,30 @@ fn stats(state: &AppState) -> Response {
             state.recorder.snapshot()
         ),
     )
+}
+
+/// `GET /debug/trace`: the most recent request traces (plus the
+/// background batch spans they reference) as Chrome trace-event JSON,
+/// ready for Perfetto / `chrome://tracing`. Bounded two ways: the
+/// tracer's rings cap resident records, and the page keeps only the
+/// last [`DEBUG_TRACE_LIMIT`] trace ids.
+fn trace(state: &AppState) -> Response {
+    let tracer = state.server.tracer();
+    if !tracer.is_enabled() {
+        return Response::text(
+            404,
+            "tracing is disabled: build the server with ServerBuilder::with_tracer",
+        );
+    }
+    let snapshot = tracer.snapshot();
+    let recent: HashSet<u64> = snapshot
+        .trace_ids()
+        .into_iter()
+        .rev()
+        .take(DEBUG_TRACE_LIMIT)
+        .collect();
+    let bounded = snapshot.filtered(|r| r.trace_id == 0 || recent.contains(&r.trace_id));
+    Response::json(200, bounded.to_chrome_json())
 }
 
 /// `GET /metrics`: Prometheus text exposition, conservation-checked the

@@ -204,6 +204,10 @@ pub(crate) struct Response {
     pub retry_after: Option<u64>,
     /// Emits `Connection: close` and ends the session after writing.
     pub close: bool,
+    /// The request's trace context, echoed as an `X-Snappix-Trace`
+    /// header (the id) and used by the connection loop to record the
+    /// `respond` span into the right trace.
+    pub trace: Option<snappix_trace::SpanCtx>,
 }
 
 impl Response {
@@ -215,6 +219,7 @@ impl Response {
             body: body.into().into_bytes(),
             retry_after: None,
             close: false,
+            trace: None,
         }
     }
 
@@ -238,6 +243,13 @@ impl Response {
         self
     }
 
+    /// Attaches the request's trace context: the id is echoed back as
+    /// an `X-Snappix-Trace` header.
+    pub fn with_trace(mut self, trace: snappix_trace::SpanCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Serializes status line, headers and body, returning the bytes
     /// written (the gateway's `bytes_written` counter).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<usize> {
@@ -250,6 +262,9 @@ impl Response {
         );
         if let Some(seconds) = self.retry_after {
             head.push_str(&format!("retry-after: {seconds}\r\n"));
+        }
+        if let Some(trace) = &self.trace {
+            head.push_str(&format!("x-snappix-trace: {}\r\n", trace.trace_id));
         }
         if self.close {
             head.push_str("connection: close\r\n");
@@ -369,6 +384,24 @@ mod tests {
         assert!(text.contains("retry-after: 2\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+
+    #[test]
+    fn trace_context_is_echoed_as_a_header() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_trace(snappix_trace::SpanCtx {
+                trace_id: 42,
+                span_id: 9,
+            })
+            .write_to(&mut out)
+            .expect("in-memory write");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("x-snappix-trace: 42\r\n"), "{text}");
+        assert!(
+            !text.contains("x-snappix-trace: 9"),
+            "span id stays internal: {text}"
+        );
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!   `GET /metrics` (Prometheus text exposition of both layers'
 //!   counters and latency percentiles — see `docs/METRICS.md` for the
 //!   full reference, kept honest by a live-scrape diff test).
+//! * **Tracing** — when the fronted server carries a
+//!   [`Tracer`](snappix_trace::Tracer), every classify request is
+//!   traced end to end (`accept`/`parse` → `queue_wait` → `batch` →
+//!   `compute` → `respond`), an optional `X-Snappix-Trace` request
+//!   header lets callers pick the trace id (echoed back either way),
+//!   and `GET /debug/trace` serves the most recent traces as Chrome
+//!   trace-event JSON — see `docs/TRACING.md`.
 //!
 //! The protocol subset is deliberately small: HTTP/1.1 keep-alive,
 //! `Content-Length` framing only, bounded head/body sizes, no TLS, no

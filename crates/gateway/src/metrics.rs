@@ -261,6 +261,12 @@ fn render_server(out: &mut String, s: &ServerStats) {
         &[],
         &s.queue_latency,
     );
+    float_sample(
+        out,
+        "snappix_server_queue_latency_seconds_sum",
+        &[],
+        s.queue_latency.total.as_secs_f64(),
+    );
     sample(
         out,
         "snappix_server_queue_latency_seconds_count",
@@ -280,12 +286,44 @@ fn render_server(out: &mut String, s: &ServerStats) {
         &[],
         &s.compute_latency,
     );
+    float_sample(
+        out,
+        "snappix_server_compute_latency_seconds_sum",
+        &[],
+        s.compute_latency.total.as_secs_f64(),
+    );
     sample(
         out,
         "snappix_server_compute_latency_seconds_count",
         &[],
         s.compute_latency.samples,
     );
+
+    family(
+        out,
+        "snappix_server_stage_latency_seconds",
+        "summary",
+        "Forward-pass wall time by pipeline stage, aggregated across worker replicas.",
+    );
+    for (stage, p) in [
+        ("sense", s.profile.sense),
+        ("forward", s.profile.forward),
+        ("readout", s.profile.readout),
+    ] {
+        let labels = [("stage", stage)];
+        float_sample(
+            out,
+            "snappix_server_stage_latency_seconds_sum",
+            &labels,
+            p.total.as_secs_f64(),
+        );
+        sample(
+            out,
+            "snappix_server_stage_latency_seconds_count",
+            &labels,
+            p.calls,
+        );
+    }
 
     family(
         out,
@@ -353,6 +391,25 @@ mod tests {
     use crate::Endpoint;
 
     fn server_stats() -> ServerStats {
+        let profile = snappix::PipelineProfile {
+            sense: snappix::StageProfile {
+                calls: 3,
+                total: Duration::from_millis(6),
+                max: Duration::from_millis(3),
+            },
+            forward: snappix::StageProfile {
+                calls: 3,
+                total: Duration::from_millis(30),
+                max: Duration::from_millis(12),
+            },
+            readout: snappix::StageProfile {
+                calls: 3,
+                total: Duration::from_millis(3),
+                max: Duration::from_millis(1),
+            },
+            batches: 3,
+            clips: 7,
+        };
         ServerStats {
             submitted: 10,
             completed: 7,
@@ -369,6 +426,7 @@ mod tests {
                 Duration::from_millis(2),
             ]),
             compute_latency: LatencySummary::from_samples(&[Duration::from_millis(4)]),
+            profile,
         }
     }
 
@@ -400,7 +458,12 @@ mod tests {
             "snappix_server_batch_size_sum 7\n",
             "snappix_server_batch_size_count 3\n",
             "snappix_server_queue_latency_seconds{quantile=\"0.99\"} 0.002\n",
+            "snappix_server_queue_latency_seconds_sum 0.003\n",
+            "snappix_server_compute_latency_seconds_sum 0.004\n",
             "snappix_server_compute_latency_seconds_count 1\n",
+            "snappix_server_stage_latency_seconds_sum{stage=\"sense\"} 0.006\n",
+            "snappix_server_stage_latency_seconds_sum{stage=\"forward\"} 0.03\n",
+            "snappix_server_stage_latency_seconds_count{stage=\"readout\"} 3\n",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

@@ -23,6 +23,9 @@ pub enum Endpoint {
     Stats,
     /// `GET /metrics` — Prometheus text exposition.
     Metrics,
+    /// `GET /debug/trace` — recent request traces as Chrome trace-event
+    /// JSON.
+    Trace,
     /// Anything else: unknown paths, wrong methods, unparseable
     /// requests.
     Other,
@@ -36,6 +39,7 @@ impl Endpoint {
             Endpoint::Health => "health",
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
+            Endpoint::Trace => "trace",
             Endpoint::Other => "other",
         }
     }
@@ -63,11 +67,11 @@ pub struct RequestCount {
 pub struct EndpointLatency {
     /// Which endpoint.
     pub endpoint: Endpoint,
-    /// Sliding-window percentiles plus the all-time sample count (same
-    /// semantics as the serving layer's summaries).
+    /// Sliding-window percentiles plus the all-time sample count and
+    /// running total (same semantics as the serving layer's summaries).
     pub summary: LatencySummary,
     /// All-time total time spent answering (a Prometheus summary's
-    /// `_sum`).
+    /// `_sum`); equal to `summary.total`, kept for direct access.
     pub total: Duration,
 }
 
@@ -291,6 +295,7 @@ impl Recorder {
                 endpoint,
                 summary: LatencySummary {
                     samples: seen,
+                    total,
                     ..LatencySummary::from_samples(&recent)
                 },
                 total,
@@ -338,6 +343,10 @@ mod tests {
             classify.total,
             Duration::from_millis(8) + Duration::from_micros(20)
         );
+        assert_eq!(
+            classify.summary.total, classify.total,
+            "the summary carries the same all-time total"
+        );
         assert!(s.latency.iter().all(|l| l.endpoint != Endpoint::Metrics));
 
         let text = s.to_string();
@@ -353,6 +362,7 @@ mod tests {
             (Endpoint::Health, "health"),
             (Endpoint::Stats, "stats"),
             (Endpoint::Metrics, "metrics"),
+            (Endpoint::Trace, "trace"),
             (Endpoint::Other, "other"),
         ];
         for (endpoint, label) in all {

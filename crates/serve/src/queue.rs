@@ -12,6 +12,7 @@
 use crate::{BatchPolicy, ServeError};
 use snappix::Prediction;
 use snappix_tensor::Tensor;
+use snappix_trace::{DetachedSpan, SpanCtx};
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -30,6 +31,12 @@ pub(crate) struct Request {
     /// Where the answer goes. A dropped receiver is fine: the send
     /// fails silently and the work is simply discarded.
     pub reply: Sender<Result<Prediction, ServeError>>,
+    /// The request's trace context — the span the worker should parent
+    /// this request's `compute` span to (zero when tracing is off).
+    pub trace: SpanCtx,
+    /// The open `queue_wait` span, started at admission on the client
+    /// thread and finished by the worker that claims the batch.
+    pub queue_span: Option<DetachedSpan>,
 }
 
 impl Request {
@@ -220,6 +227,8 @@ mod tests {
                 enqueued: Instant::now(),
                 deadline: None,
                 reply: tx,
+                trace: SpanCtx::default(),
+                queue_span: None,
             },
             rx,
         )

@@ -7,6 +7,7 @@ use snappix::prelude::ActionModel;
 use snappix::{Error, Pipeline, PipelineBuilder};
 use snappix_ce::{AlgorithmicEncoder, Sense};
 use snappix_tensor::{parallel, Tensor};
+use snappix_trace::{ArgValue, SpanCtx, Tracer};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,6 +26,7 @@ pub struct ServerBuilder<S: Sense = AlgorithmicEncoder> {
     queue_depth: usize,
     policy: BatchPolicy,
     worker_threads: Option<usize>,
+    tracer: Tracer,
 }
 
 impl<S: Sense> ServerBuilder<S> {
@@ -77,6 +79,21 @@ impl<S: Sense> ServerBuilder<S> {
         Ok(self)
     }
 
+    /// Attaches a span recorder: every admitted request is stamped with
+    /// a trace id (carried on its [`Ticket`]), admission opens a
+    /// `queue_wait` span, and workers emit one `batch` span per forward
+    /// pass with the pipeline's `sense`/`forward`/`readout` spans
+    /// nested under it — plus a `compute` span per member request
+    /// linking it to the shared batch. The tracer is also installed on
+    /// every pipeline replica. Defaults to [`Tracer::disabled`]: no
+    /// records, near-zero hot-path cost, and results are bit-for-bit
+    /// identical either way.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Pins the data-parallel worker count *inside* each replica,
     /// applied to every replica through the same
     /// [`PipelineBuilder::with_threads`] scoping the rest of the
@@ -113,6 +130,7 @@ impl<S: Sense> ServerBuilder<S> {
         let replicas = self
             .recipe
             .with_threads(per_replica)
+            .with_tracer(self.tracer.clone())
             .build_replicas(workers)?;
 
         let model = replicas[0].model();
@@ -157,6 +175,7 @@ impl<S: Sense> ServerBuilder<S> {
             num_classes,
             policy: self.policy,
             worker_threads: per_replica,
+            tracer: self.tracer,
         })
     }
 }
@@ -214,6 +233,7 @@ pub struct Server {
     num_classes: usize,
     policy: BatchPolicy,
     worker_threads: usize,
+    tracer: Tracer,
 }
 
 impl Server {
@@ -226,7 +246,15 @@ impl Server {
             queue_depth: 64,
             policy: BatchPolicy::default(),
             worker_threads: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The span recorder requests flow through (disabled unless
+    /// [`ServerBuilder::with_tracer`] attached one). Snapshot it to
+    /// export traces: `server.tracer().snapshot().to_chrome_json()`.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Number of worker threads (= pipeline replicas).
@@ -361,6 +389,20 @@ impl Server {
                 ),
             });
         }
+        // Trace stamping: inherit the trace already open on this thread
+        // (the gateway's request span) or mint a fresh id, then open the
+        // queue-wait span — it starts here on the client thread and is
+        // finished by whichever worker claims the batch.
+        let parent = self.tracer.current();
+        let trace_id = if parent.trace_id != 0 {
+            parent.trace_id
+        } else {
+            self.tracer.new_trace_id()
+        };
+        let trace = SpanCtx {
+            trace_id,
+            span_id: parent.span_id,
+        };
         let (reply, receiver) = channel();
         let enqueued = Instant::now();
         let request = Request {
@@ -368,6 +410,8 @@ impl Server {
             enqueued,
             deadline: deadline.and_then(|d| enqueued.checked_add(d)),
             reply,
+            trace,
+            queue_span: Some(self.tracer.span_detached("queue_wait", trace)),
         };
         // Shed-path fast exit: under sustained overload there is no
         // point deep-cloning the clip and building a channel only for
@@ -393,7 +437,7 @@ impl Server {
             self.queue.try_push(request)
         };
         match admitted {
-            Ok(()) => Ok(Ticket::new(receiver)),
+            Ok(()) => Ok(Ticket::new(receiver, trace_id)),
             Err(e) => {
                 self.recorder.record_unadmitted();
                 if matches!(e, ServeError::Overloaded { .. }) {
@@ -435,8 +479,17 @@ fn run_worker<S>(
     S: Sense,
     Error: From<S::Error>,
 {
-    while let Some(batch) = queue.pop_batch(&policy) {
+    let tracer = pipeline.tracer().clone();
+    while let Some(mut batch) = queue.pop_batch(&policy) {
         let claimed = Instant::now();
+        // Close every member's queue-wait span at the moment the batch
+        // is claimed — that is where queueing ends, even for requests
+        // that turn out to be expired.
+        for request in &mut batch {
+            if let Some(span) = request.queue_span.take() {
+                span.finish();
+            }
+        }
         let queue_latencies: Vec<Duration> = batch
             .iter()
             .map(|r| claimed.duration_since(r.enqueued))
@@ -453,11 +506,37 @@ fn run_worker<S>(
             continue;
         }
 
+        // One `batch` span per forward pass, on the background trace
+        // (many requests share it). It sits on this thread's span
+        // stack, so the pipeline's `sense`/`forward`/`readout` guards
+        // nest under it with no plumbing.
+        let mut batch_span = tracer.span("batch");
+        batch_span.arg("clips", live.len());
+        let batch_ctx = batch_span.ctx();
+        let compute_start_us = tracer.now_us();
         let started = Instant::now();
         let clips: Vec<&Tensor> = live.iter().map(|r| &r.clip).collect();
         let result = Tensor::stack(&clips, 0)
             .map_err(Error::Tensor)
             .and_then(|stacked| pipeline.infer(&stacked));
+        let compute_end_us = tracer.now_us();
+        drop(batch_span);
+        if tracer.is_enabled() {
+            // Each member request gets its own `compute` span over the
+            // one shared forward pass, parented into *its* trace and
+            // pointing back at the shared batch span via the arg.
+            for request in &live {
+                tracer.record_span(
+                    "compute",
+                    request.trace.trace_id,
+                    request.trace.span_id,
+                    compute_start_us,
+                    compute_end_us,
+                    vec![("batch", ArgValue::U64(batch_ctx.span_id))],
+                );
+            }
+        }
+        recorder.record_profile(&pipeline.take_profile());
         match result {
             // Guarded so a prediction-count regression in the pipeline
             // fails every rider loudly instead of `zip` silently

@@ -1,6 +1,7 @@
 //! Serving telemetry: counters, a batch-size histogram, and latency
 //! percentiles, snapshotted as [`ServerStats`].
 
+use snappix::PipelineProfile;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
@@ -15,11 +16,14 @@ const LATENCY_WINDOW: usize = 4096;
 ///
 /// Percentiles are nearest-rank over the most recent 4096 samples (a
 /// sliding window, so they track the server's *current* behaviour);
-/// `samples` counts the whole stream.
+/// `samples` and `total` cover the whole stream, which is what lets
+/// the Prometheus exporter emit both `_count` and `_sum` lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// All-time number of samples recorded.
     pub samples: u64,
+    /// All-time running total of the stream — the summary's `_sum`.
+    pub total: Duration,
     /// Median latency over the window.
     pub p50: Duration,
     /// 95th-percentile latency over the window.
@@ -49,6 +53,7 @@ impl LatencySummary {
         };
         LatencySummary {
             samples: samples.len() as u64,
+            total: samples.iter().sum(),
             p50: nearest_rank(50.0),
             p95: nearest_rank(95.0),
             p99: nearest_rank(99.0),
@@ -104,6 +109,11 @@ pub struct ServerStats {
     pub queue_latency: LatencySummary,
     /// Time batches spent in `Pipeline::infer`.
     pub compute_latency: LatencySummary,
+    /// Where batch compute time goes by pipeline stage
+    /// (`sense`/`forward`/`readout`), aggregated across every worker
+    /// replica. Always populated — stage timing does not require a
+    /// tracer.
+    pub profile: PipelineProfile,
 }
 
 impl ServerStats {
@@ -234,14 +244,15 @@ impl fmt::Display for ServerStats {
             self.queue_latency.p99,
             self.queue_latency.max,
         )?;
-        write!(
+        writeln!(
             f,
             "compute latency: p50 {:.2?}  p95 {:.2?}  p99 {:.2?}  max {:.2?}",
             self.compute_latency.p50,
             self.compute_latency.p95,
             self.compute_latency.p99,
             self.compute_latency.max,
-        )
+        )?;
+        write!(f, "stages: {}", self.profile)
     }
 }
 
@@ -250,6 +261,7 @@ impl fmt::Display for ServerStats {
 struct Window {
     recent: VecDeque<Duration>,
     seen: u64,
+    total: Duration,
 }
 
 impl Window {
@@ -259,14 +271,16 @@ impl Window {
         }
         self.recent.push_back(sample);
         self.seen += 1;
+        self.total += sample;
     }
 
     fn summarize(&self) -> LatencySummary {
         let recent: Vec<Duration> = self.recent.iter().copied().collect();
         LatencySummary {
             // The window ranks over its recent samples but reports the
-            // all-time stream count.
+            // all-time stream count and running total.
             samples: self.seen,
+            total: self.total,
             ..LatencySummary::from_samples(&recent)
         }
     }
@@ -283,6 +297,7 @@ struct Counters {
     batch_sizes: Vec<u64>,
     queue_latency: Window,
     compute_latency: Window,
+    profile: PipelineProfile,
 }
 
 /// The shared, internally-locked recorder workers and the submission
@@ -324,6 +339,16 @@ impl Recorder {
 
     pub fn record_rejected(&self) {
         self.lock().rejected += 1;
+    }
+
+    /// Folds one replica's per-stage profile delta (from
+    /// [`Pipeline::take_profile`](snappix::Pipeline::take_profile))
+    /// into the server-wide aggregate. Workers call this after every
+    /// batch.
+    pub fn record_profile(&self, delta: &PipelineProfile) {
+        if !delta.is_empty() {
+            self.lock().profile.merge(delta);
+        }
     }
 
     /// Records one claimed batch: per-request queue latencies, the
@@ -376,6 +401,7 @@ impl Recorder {
                     uptime: self.started.elapsed(),
                     queue_latency: LatencySummary::default(),
                     compute_latency: LatencySummary::default(),
+                    profile: c.profile,
                 },
                 c.queue_latency.clone(),
                 c.compute_latency.clone(),
@@ -428,12 +454,46 @@ mod tests {
         assert_eq!(s.resident_weight_bytes, 1024);
         assert_eq!(s.queue_latency.samples, 7);
         assert_eq!(s.compute_latency.samples, 1);
+        // Running totals back the exporter's `_sum` lines:
+        // 4 x 1ms + 2 x 2ms + 1 x 3ms queued, one 7ms forward pass.
+        assert_eq!(s.queue_latency.total, Duration::from_millis(11));
+        assert_eq!(s.compute_latency.total, Duration::from_millis(7));
         assert!((s.mean_batch_size() - 2.5).abs() < 1e-9);
         assert!(s.throughput() >= 0.0);
         let text = s.to_string();
         assert!(text.contains("batches: 2"));
         assert!(text.contains("resident weights 1024 B"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn stage_profiles_merge_across_replicas() {
+        let r = Recorder::new(0);
+        let mut a = PipelineProfile::default();
+        a.sense.calls = 2;
+        a.sense.total = Duration::from_millis(4);
+        a.sense.max = Duration::from_millis(3);
+        a.batches = 2;
+        a.clips = 5;
+        let mut b = PipelineProfile::default();
+        b.sense.calls = 1;
+        b.sense.total = Duration::from_millis(10);
+        b.sense.max = Duration::from_millis(10);
+        b.forward.calls = 1;
+        b.forward.total = Duration::from_millis(6);
+        b.forward.max = Duration::from_millis(6);
+        b.batches = 1;
+        b.clips = 3;
+        r.record_profile(&a);
+        r.record_profile(&b);
+        r.record_profile(&PipelineProfile::default()); // no-op
+        let s = r.snapshot(0);
+        assert_eq!(s.profile.sense.calls, 3);
+        assert_eq!(s.profile.sense.total, Duration::from_millis(14));
+        assert_eq!(s.profile.sense.max, Duration::from_millis(10));
+        assert_eq!(s.profile.forward.calls, 1);
+        assert_eq!((s.profile.batches, s.profile.clips), (3, 8));
+        assert!(s.to_string().contains("stages:"));
     }
 
     #[test]
@@ -504,6 +564,7 @@ mod tests {
         let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let s = LatencySummary::from_samples(&samples);
         assert_eq!(s.samples, 100);
+        assert_eq!(s.total, Duration::from_millis(5050));
         assert_eq!(s.p50, Duration::from_millis(50));
         assert_eq!(s.p95, Duration::from_millis(95));
         assert_eq!(s.p99, Duration::from_millis(99));
@@ -535,6 +596,12 @@ mod tests {
         let slid = w.summarize();
         assert_eq!(slid.p99, Duration::from_millis(7));
         assert_eq!(slid.samples, 100 + LATENCY_WINDOW as u64);
+        // The running total keeps counting even as old samples slide
+        // out of the percentile window.
+        assert_eq!(
+            slid.total,
+            Duration::from_millis(5050 + 7 * LATENCY_WINDOW as u64)
+        );
 
         let empty = Window::default().summarize();
         assert_eq!(empty, LatencySummary::default());

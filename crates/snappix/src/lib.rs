@@ -94,8 +94,8 @@ mod report;
 pub use error::Error;
 pub use node::EdgeNode;
 pub use pipeline::{
-    resident_weight_bytes, Inference, IntoPredictions, Pipeline, PipelineBuilder, Prediction,
-    Predictions,
+    resident_weight_bytes, Inference, IntoPredictions, Pipeline, PipelineBuilder, PipelineProfile,
+    Prediction, Predictions, StageProfile,
 };
 pub use report::{evaluate_deployment, DeploymentReport};
 
@@ -103,7 +103,7 @@ pub use report::{evaluate_deployment, DeploymentReport};
 pub mod prelude {
     pub use crate::{
         evaluate_deployment, resident_weight_bytes, DeploymentReport, EdgeNode, Error, Inference,
-        Pipeline, PipelineBuilder, Prediction,
+        Pipeline, PipelineBuilder, PipelineProfile, Prediction, StageProfile,
     };
     pub use snappix_ce::{
         encode, encode_batch, encode_batch_normalized, encode_normalized,
@@ -122,5 +122,6 @@ pub mod prelude {
     pub use snappix_sensor::{CeSensor, HardwareSensor, Readout, ReadoutConfig};
     pub use snappix_tensor::parallel;
     pub use snappix_tensor::Tensor;
+    pub use snappix_trace::{SpanCtx, SpanRecord, TraceSnapshot, Tracer};
     pub use snappix_video::{k400_like, psnr, ssv2_like, ucf101_like, ActionClass, Dataset, Video};
 }

@@ -16,13 +16,117 @@ use snappix_models::{ActionModel, SnapPixAr};
 use snappix_nn::{ArtifactReader, SessionPool};
 use snappix_sensor::{HardwareSensor, ReadoutConfig};
 use snappix_tensor::{parallel, Tensor};
+use snappix_trace::Tracer;
+use std::fmt;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Runs `f` under the pipeline's worker-count override, when one is set.
 fn with_pool<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
     match threads {
         Some(n) => parallel::with_threads(n, f),
         None => f(),
+    }
+}
+
+/// Cumulative timing for one pipeline stage: call count, total wall
+/// time, and the slowest single call.
+///
+/// Stage timing is *always* accumulated — two monotonic clock reads per
+/// stage per batch, noise next to a millisecond-scale forward pass — so
+/// per-stage aggregates reach `ServerStats` and `/metrics` even with
+/// span tracing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageProfile {
+    /// Times the stage ran.
+    pub calls: u64,
+    /// Total wall time across all calls.
+    pub total: Duration,
+    /// The slowest single call.
+    pub max: Duration,
+}
+
+impl StageProfile {
+    fn record(&mut self, elapsed: Duration) {
+        self.calls += 1;
+        self.total += elapsed;
+        if elapsed > self.max {
+            self.max = elapsed;
+        }
+    }
+
+    /// Mean wall time per call (zero before the first call).
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.calls).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Fold `other`'s calls into this profile.
+    pub fn merge(&mut self, other: &StageProfile) {
+        self.calls += other.calls;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+/// Where a pipeline's wall time goes, by stage: `sense` (the coding
+/// backend), `forward` (the model pass), `readout` (argmax over
+/// logits).
+///
+/// Read it with [`Pipeline::profile`], or drain deltas with
+/// [`Pipeline::take_profile`] — the serving layer does the latter after
+/// every batch so `ServerStats` aggregates stage time across worker
+/// replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineProfile {
+    /// The sensing/coding stage (`Sense::sense_batch` and `sense`).
+    pub sense: StageProfile,
+    /// The batched model forward pass.
+    pub forward: StageProfile,
+    /// Label extraction (argmax) over the logits.
+    pub readout: StageProfile,
+    /// Batched forward passes completed.
+    pub batches: u64,
+    /// Clips classified across those batches.
+    pub clips: u64,
+}
+
+impl PipelineProfile {
+    /// Fold `other` into this profile (stage by stage plus the batch
+    /// and clip counters).
+    pub fn merge(&mut self, other: &PipelineProfile) {
+        self.sense.merge(&other.sense);
+        self.forward.merge(&other.forward);
+        self.readout.merge(&other.readout);
+        self.batches += other.batches;
+        self.clips += other.clips;
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self == &PipelineProfile::default()
+    }
+}
+
+impl fmt::Display for PipelineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clips / {} batches | sense {:?} mean (max {:?}) | forward {:?} mean (max {:?}) | readout {:?} mean (max {:?})",
+            self.clips,
+            self.batches,
+            self.sense.mean(),
+            self.sense.max,
+            self.forward.mean(),
+            self.forward.max,
+            self.readout.mean(),
+            self.readout.max,
+        )
     }
 }
 
@@ -196,6 +300,7 @@ pub struct PipelineBuilder<S: Sense = AlgorithmicEncoder> {
     backend: S,
     max_pending: usize,
     threads: Option<usize>,
+    tracer: Tracer,
 }
 
 impl<S: Sense> PipelineBuilder<S> {
@@ -216,6 +321,7 @@ impl<S: Sense> PipelineBuilder<S> {
             backend,
             max_pending: self.max_pending,
             threads: self.threads,
+            tracer: self.tracer,
         }
     }
 
@@ -247,6 +353,7 @@ impl<S: Sense> PipelineBuilder<S> {
             backend,
             max_pending: self.max_pending,
             threads: self.threads,
+            tracer: self.tracer,
         })
     }
 
@@ -256,6 +363,18 @@ impl<S: Sense> PipelineBuilder<S> {
     #[must_use]
     pub fn with_max_pending(mut self, max_pending: usize) -> Self {
         self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Attaches a span recorder: the pipeline emits `sense`/`forward`/
+    /// `readout` spans into it on every inference, auto-parented under
+    /// whatever span the caller has open (the serving layer's `batch`
+    /// span, say). Defaults to [`Tracer::disabled`], which records
+    /// nothing and costs nothing on the hot path. Tracing never changes
+    /// results — outputs are bit-for-bit identical on and off.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -348,6 +467,8 @@ impl<S: Sense> PipelineBuilder<S> {
             pending: Vec::new(),
             max_pending: self.max_pending,
             threads: self.threads,
+            tracer: self.tracer,
+            profile: PipelineProfile::default(),
         })
     }
 
@@ -418,6 +539,8 @@ pub struct Pipeline<S: Sense = AlgorithmicEncoder> {
     pending: Vec<Tensor>,
     max_pending: usize,
     threads: Option<usize>,
+    tracer: Tracer,
+    profile: PipelineProfile,
 }
 
 impl<S: Sense> std::fmt::Debug for Pipeline<S> {
@@ -443,6 +566,7 @@ impl Pipeline<AlgorithmicEncoder> {
             backend,
             max_pending: 8,
             threads: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -468,6 +592,8 @@ impl<S: Sense + Clone> Pipeline<S> {
             pending: Vec::new(),
             max_pending: self.max_pending,
             threads: self.threads,
+            tracer: self.tracer.clone(),
+            profile: PipelineProfile::default(),
         }
     }
 }
@@ -514,6 +640,26 @@ where
         self.threads
     }
 
+    /// The span recorder this pipeline emits stage spans into
+    /// (disabled unless [`PipelineBuilder::with_tracer`] attached one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Cumulative per-stage timing since the pipeline was built (or
+    /// since the last [`take_profile`](Self::take_profile)).
+    pub fn profile(&self) -> &PipelineProfile {
+        &self.profile
+    }
+
+    /// Drains the profile: returns everything accumulated since the
+    /// last take and resets the counters. Serving workers call this
+    /// after each batch to push per-stage deltas into the server-wide
+    /// aggregate.
+    pub fn take_profile(&mut self) -> PipelineProfile {
+        std::mem::take(&mut self.profile)
+    }
+
     /// Bytes of weight memory this pipeline keeps resident, counting
     /// each shared buffer once. For fleet-wide accounting across
     /// replicas use [`resident_weight_bytes`], which deduplicates
@@ -529,7 +675,16 @@ where
     ///
     /// Fails when the clip does not match the backend.
     pub fn sense(&mut self, clip: &Tensor) -> Result<Tensor, Error> {
-        with_pool(self.threads, || self.backend.sense(clip)).map_err(Error::from)
+        let tracer = self.tracer.clone();
+        with_pool(self.threads, || {
+            let started = Instant::now();
+            let span = tracer.span("sense");
+            let coded = self.backend.sense(clip);
+            drop(span);
+            self.profile.sense.record(started.elapsed());
+            coded
+        })
+        .map_err(Error::from)
     }
 
     /// Classifies a `[batch, t, h, w]` clip batch in one model forward
@@ -554,9 +709,16 @@ where
         if clips.rank() == 4 && clips.shape()[0] == 0 {
             return Ok(Inference::empty(self.model.num_classes()));
         }
+        let tracer = self.tracer.clone();
+        let batch = clips.shape().first().copied().unwrap_or(0);
         with_pool(self.threads, || {
-            let coded = self.backend.sense_batch(clips)?;
-            self.infer_coded(&coded)
+            let started = Instant::now();
+            let mut span = tracer.span("sense");
+            span.arg("clips", batch);
+            let coded = self.backend.sense_batch(clips);
+            drop(span);
+            self.profile.sense.record(started.elapsed());
+            self.infer_coded(&coded?)
         })
     }
 
@@ -571,8 +733,15 @@ where
     ///
     /// Fails when the clip does not match the backend or the model.
     pub fn infer_clip(&mut self, clip: &Tensor) -> Result<Prediction, Error> {
+        let tracer = self.tracer.clone();
         with_pool(self.threads, || {
-            let coded = self.backend.sense(clip)?;
+            let started = Instant::now();
+            let mut span = tracer.span("sense");
+            span.arg("clips", 1usize);
+            let coded = self.backend.sense(clip);
+            drop(span);
+            self.profile.sense.record(started.elapsed());
+            let coded = coded?;
             let batch = coded.reshape(&[1, coded.shape()[0], coded.shape()[1]])?;
             self.infer_coded(&batch)
         })?
@@ -642,14 +811,26 @@ where
     /// One batched forward pass over already-coded `[batch, h, w]`
     /// images, reusing the pooled session.
     fn infer_coded(&mut self, coded: &Tensor) -> Result<Inference, Error> {
+        let tracer = self.tracer.clone();
+        let started = Instant::now();
+        let span = tracer.span("forward");
         let mut sess = self.pool.inference(self.model.store());
         let logits = self
             .model
             .build_logits_from_coded(&mut sess, coded)
             .map(|var| sess.graph.value(var).clone());
         self.pool.reclaim(sess);
+        drop(span);
+        self.profile.forward.record(started.elapsed());
         let logits = logits?;
-        let labels = logits.argmax_axis(1)?;
+        let started = Instant::now();
+        let span = tracer.span("readout");
+        let labels = logits.argmax_axis(1);
+        drop(span);
+        self.profile.readout.record(started.elapsed());
+        let labels = labels?;
+        self.profile.batches += 1;
+        self.profile.clips += labels.len() as u64;
         Ok(Inference { logits, labels })
     }
 }
@@ -958,6 +1139,73 @@ mod tests {
             solo_bytes,
             "replicate() must not deep-copy the weights"
         );
+    }
+
+    #[test]
+    fn profile_accumulates_and_spans_nest_per_stage() {
+        let tracer = Tracer::new();
+        let mut p = Pipeline::builder(model())
+            .with_tracer(tracer.clone())
+            .build()
+            .unwrap();
+        assert!(p.tracer().is_enabled());
+        assert!(p.profile().is_empty());
+
+        let out = p.infer(&clips(3)).unwrap();
+        assert_eq!(out.len(), 3);
+        let profile = p.profile();
+        assert_eq!(profile.batches, 1);
+        assert_eq!(profile.clips, 3);
+        for (name, stage) in [
+            ("sense", &profile.sense),
+            ("forward", &profile.forward),
+            ("readout", &profile.readout),
+        ] {
+            assert_eq!(stage.calls, 1, "{name} ran once");
+            assert!(stage.total >= stage.max, "{name} total >= max");
+            assert!(stage.mean() <= stage.max, "{name} mean <= max");
+        }
+
+        // One span per stage, all on the background trace, all roots
+        // (nothing was open above them).
+        let snap = tracer.snapshot();
+        let names: Vec<&str> = snap.records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["sense", "forward", "readout"]);
+        assert!(snap.records.iter().all(|r| r.trace_id == 0));
+        // Under an open request span they parent to it instead.
+        {
+            let root = tracer.span_in(
+                "request",
+                snappix_trace::SpanCtx {
+                    trace_id: tracer.new_trace_id(),
+                    span_id: 0,
+                },
+            );
+            let trace = root.trace_id();
+            p.infer(&clips(2)).unwrap();
+            let snap = tracer.snapshot();
+            let stage_spans: Vec<_> = snap
+                .records
+                .iter()
+                .filter(|r| r.trace_id == trace)
+                .collect();
+            assert_eq!(stage_spans.len(), 3);
+            assert!(stage_spans.iter().all(|r| r.parent == root.ctx().span_id));
+        }
+
+        // take_profile drains.
+        let taken = p.take_profile();
+        assert_eq!(taken.batches, 2);
+        assert!(p.profile().is_empty());
+        assert!(format!("{taken}").contains("2 batches"));
+
+        // Tracing does not perturb results: the same clips through an
+        // untraced pipeline match bit for bit.
+        let mut plain = Pipeline::builder(model()).build().unwrap();
+        let traced = p.infer(&clips(3)).unwrap();
+        let untraced = plain.infer(&clips(3)).unwrap();
+        assert!(traced.logits.approx_eq(&untraced.logits, 0.0));
+        assert_eq!(traced.labels, untraced.labels);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Chrome trace-event JSON rendering (the `chrome://tracing` /
+//! Perfetto "JSON Array Format" with complete `"X"` events).
+//!
+//! Hand-rolled like every other serializer in this workspace: the
+//! format is small (objects, strings, integers) and the test suite
+//! parses it back with an equally from-scratch parser, so both
+//! directions of the contract live in the repo.
+
+use std::fmt::Write as _;
+
+use crate::record::ArgValue;
+use crate::snapshot::TraceSnapshot;
+
+/// Render a snapshot as a complete Chrome trace JSON document.
+pub fn to_chrome_json(snapshot: &TraceSnapshot) -> String {
+    // ~160 bytes per event is typical; reserve to avoid rehash churn.
+    let mut out = String::with_capacity(64 + snapshot.records.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    // Thread-name metadata first, so viewers label lanes before any
+    // event references them.
+    for lane in &snapshot.lanes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", lane.lane);
+        out.push_str(",\"args\":{\"name\":");
+        push_json_string(&mut out, &lane.name);
+        out.push_str("}}");
+    }
+    for record in &snapshot.records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, record.name);
+        out.push_str(",\"cat\":\"snappix\",\"ph\":\"X\",\"ts\":");
+        let _ = write!(out, "{}", record.start_us);
+        out.push_str(",\"dur\":");
+        let _ = write!(out, "{}", record.duration_us());
+        out.push_str(",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", record.lane);
+        let _ = write!(
+            out,
+            ",\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent\":{}",
+            record.trace_id, record.span_id, record.parent
+        );
+        for (key, value) in &record.args {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            match value {
+                ArgValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                ArgValue::Str(s) => push_json_string(&mut out, s),
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Append `s` as a JSON string literal, escaping quotes, backslashes,
+/// and control characters per RFC 8259.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_escape_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\re\tf\u{1}g");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001g\"");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_an_empty_event_array() {
+        let json = to_chrome_json(&TraceSnapshot::default());
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -1,0 +1,110 @@
+//! The wire-level span record and its argument values.
+
+use std::fmt;
+
+/// One closed span: a named interval on a lane, linked into a trace.
+///
+/// Records are value types — cloning a snapshot clones these — and
+/// compare bit-for-bit with `==`, which is what the fleet replay suite
+/// leans on: a simulation that is deterministic must produce `Eq`
+/// traces regardless of driver/worker/thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request-scoped trace this span belongs to. `0` means
+    /// *background*: work not attributable to a single request (e.g. a
+    /// worker's idle bookkeeping).
+    pub trace_id: u64,
+    /// This span's own id, unique within the tracer (or within its
+    /// lane for raw records, see [`Tracer::record_raw`]).
+    ///
+    /// [`Tracer::record_raw`]: crate::Tracer::record_raw
+    pub span_id: u64,
+    /// The enclosing span's id, or `0` for a root span.
+    pub parent: u64,
+    /// Stage name (`"sense"`, `"batch"`, `"queue_wait"`, ...). Static
+    /// so recording never allocates for the common case.
+    pub name: &'static str,
+    /// Microseconds since the tracer's epoch when the span opened.
+    pub start_us: u64,
+    /// Microseconds since the tracer's epoch when the span closed.
+    pub end_us: u64,
+    /// The lane (usually: thread) the span was recorded on. The fleet
+    /// simulator repurposes lanes as node ids so a fleet trace renders
+    /// one row per virtual node.
+    pub lane: u32,
+    /// Optional key/value payload (batch size, label, HTTP status...).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// Duration of the span in microseconds (saturating, so a clock
+    /// that steps backwards cannot panic here).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Look up an argument by key (first match wins).
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// An argument value attached to a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned integer (counts, ids, sizes).
+    U64(u64),
+    /// A string (labels, endpoint names). Escaped by the JSON exporter.
+    Str(String),
+}
+
+impl ArgValue {
+    /// The integer payload, if this is a [`ArgValue::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            ArgValue::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a [`ArgValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::U64(_) => None,
+            ArgValue::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => f.write_str(s),
+        }
+    }
+}

@@ -102,6 +102,55 @@ fn replay_is_bit_for_bit_across_drivers_and_workers() {
     }
 }
 
+/// The fleet records its events through the workspace's shared span
+/// recorder: a caller-supplied tracer clone sees every event the report
+/// carries — same order, node ids on lanes, virtual time on the clock —
+/// and exports them as Chrome trace JSON alongside any serving spans.
+#[test]
+fn fleet_events_land_in_a_shared_tracer() {
+    let baseline = run_mixed_fleet(2, 1, 4);
+
+    let cost = infer_cost();
+    let server = server(1);
+    let tracer = Tracer::new();
+    let mut sim = FleetSim::new(&server)
+        .with_drivers(2)
+        .with_tracer(tracer.clone());
+    for (i, video) in fleet_videos(4).into_iter().enumerate() {
+        sim.add_node(ReplaySource::new(video), mixed_config(i, cost))
+            .expect("valid node");
+    }
+    let report = sim.run().expect("fleet run completes");
+    server.shutdown();
+    assert_eq!(
+        report.trace, baseline.trace,
+        "shared tracer changes nothing"
+    );
+
+    let snapshot = tracer.snapshot();
+    assert_eq!(snapshot.dropped, 0, "nothing rotated out");
+    let fleet_records: Vec<_> = snapshot
+        .records
+        .iter()
+        .filter(|r| matches!(r.name, "inferred" | "shed" | "slept" | "expired" | "rung"))
+        .collect();
+    assert_eq!(
+        fleet_records.len(),
+        report.trace.len(),
+        "every report event is a record in the shared tracer"
+    );
+    for (record, event) in fleet_records.iter().zip(&report.trace) {
+        assert_eq!(record.start_us, event.at_us, "virtual time on the clock");
+        assert_eq!(record.end_us, event.at_us, "events are instants");
+        assert_eq!(record.lane as usize, event.node, "node ids ride on lanes");
+        assert_eq!(record.trace_id, 0, "fleet events are background spans");
+    }
+    // And the whole run exports straight to Chrome trace JSON.
+    let json = snapshot.to_chrome_json();
+    assert!(json.contains("\"traceEvents\":["));
+    assert!(json.contains("\"inferred\""));
+}
+
 #[test]
 fn ledgers_are_conserved_fleet_wide() {
     let report = run_mixed_fleet(2, 2, 6);
