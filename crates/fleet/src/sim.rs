@@ -375,4 +375,96 @@ impl FleetReport {
     pub fn check_conserved(&self) -> bool {
         self.nodes.iter().all(|n| n.stats.check_conserved()) && self.stats.check_conserved()
     }
+
+    /// Exports the run as `snappix_fleet_*` families into `registry` —
+    /// typically the shared registry of the server the fleet ran over,
+    /// so one `/metrics` render covers both layers.
+    ///
+    /// Per-node window-ledger counters carry a `node` label; the
+    /// unlabeled gauges describe the run as a whole. Counters
+    /// *accumulate*: exporting two runs into one registry sums their
+    /// ledgers (matching Prometheus counter semantics for a long-lived
+    /// scrape target), while the gauges are overwritten with the most
+    /// recent run's values. Call once per finished run.
+    pub fn export_metrics(&self, registry: &snappix_metrics::Registry) {
+        for node in &self.nodes {
+            let id = node.id.to_string();
+            let labels: &[(&str, &str)] = &[("node", &id)];
+            let ledger: [(&str, &str, u64); 8] = [
+                (
+                    "snappix_fleet_frames_total",
+                    "Frames pulled from node sources.",
+                    node.stats.frames,
+                ),
+                (
+                    "snappix_fleet_windows_total",
+                    "Windows the node assemblers emitted.",
+                    node.stats.windows,
+                ),
+                (
+                    "snappix_fleet_inferred_total",
+                    "Windows inferred end to end.",
+                    node.stats.inferred,
+                ),
+                (
+                    "snappix_fleet_shed_total",
+                    "Windows captured but shed before readout.",
+                    node.stats.shed,
+                ),
+                (
+                    "snappix_fleet_expired_total",
+                    "Windows whose deadline expired in the server queue.",
+                    node.stats.expired,
+                ),
+                (
+                    "snappix_fleet_slept_total",
+                    "Windows slept through (Sleep rung, rate-skips, or an empty budget).",
+                    node.stats.slept,
+                ),
+                (
+                    "snappix_fleet_events_total",
+                    "Confirmed label-change events.",
+                    node.stats.events,
+                ),
+                (
+                    "snappix_fleet_rung_changes_total",
+                    "Duty-cycle ladder transitions.",
+                    node.stats.rung_changes,
+                ),
+            ];
+            for (name, help, value) in ledger {
+                registry.counter_with(name, help, labels).add(value);
+            }
+            registry
+                .gauge_with(
+                    "snappix_fleet_energy_spent_picojoules",
+                    "Energy the node spent over the most recent run, pJ.",
+                    labels,
+                )
+                .set(node.stats.spent_pj);
+            registry
+                .gauge_with(
+                    "snappix_fleet_energy_level_picojoules",
+                    "The node's budget level at the end of the most recent run, pJ.",
+                    labels,
+                )
+                .set(node.stats.level_pj);
+        }
+        registry
+            .gauge("snappix_fleet_nodes", "Nodes in the most recent run.")
+            .set(self.stats.nodes as f64);
+        registry
+            .gauge(
+                "snappix_fleet_virtual_seconds",
+                "Virtual duration of the most recent run.",
+            )
+            .set(self.stats.virtual_us as f64 / 1e6);
+        registry
+            .gauge(
+                "snappix_fleet_energy_per_inference_picojoules",
+                "Fleet-wide average energy per inferred window over the most \
+                 recent run, pJ.",
+            )
+            .set(self.stats.energy_per_inference_pj());
+    }
 }

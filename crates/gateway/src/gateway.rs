@@ -110,9 +110,13 @@ impl GatewayBuilder {
         let local_addr = listener.local_addr().map_err(|e| GatewayError::Bind {
             context: format!("{}: local_addr: {e}", self.addr),
         })?;
+        // The gateway's families join the fronted server's registry, so
+        // one render covers both layers (and a disabled registry
+        // disables both).
+        let recorder = Recorder::new(self.server.metrics().clone());
         let state = Arc::new(AppState {
             server: self.server,
-            recorder: Recorder::new(),
+            recorder,
             limiter: self.rate_limit.map(Limiter::new),
             shutting_down: AtomicBool::new(false),
         });
@@ -404,6 +408,7 @@ fn run_connection(state: &AppState, stream: &TcpStream, peer: SocketAddr, read_t
                     request.bytes_read as u64,
                     written as u64,
                     started.elapsed(),
+                    response.trace.map_or(0, |t| t.trace_id),
                 );
                 if response.close {
                     return;
@@ -423,6 +428,7 @@ fn run_connection(state: &AppState, stream: &TcpStream, peer: SocketAddr, read_t
                         0,
                         written as u64,
                         started.elapsed(),
+                        0,
                     );
                 }
                 return;

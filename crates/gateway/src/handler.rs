@@ -74,7 +74,7 @@ pub(crate) fn handle(
         ("POST", "/v1/classify") => (Endpoint::Classify, classify(state, request, peer, wire)),
         ("GET", "/health") => (Endpoint::Health, health(state)),
         ("GET", "/stats") => (Endpoint::Stats, stats(state)),
-        ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics(state, request)),
         ("GET", "/debug/trace") => (Endpoint::Trace, trace(state)),
         (_, "/v1/classify" | "/health" | "/stats" | "/metrics" | "/debug/trace") => (
             Endpoint::Other,
@@ -322,16 +322,28 @@ fn trace(state: &AppState) -> Response {
     Response::json(200, bounded.to_chrome_json())
 }
 
-/// `GET /metrics`: Prometheus text exposition, conservation-checked the
-/// same way as `/stats`.
-fn metrics(state: &AppState) -> Response {
-    let server = state.server.stats();
-    server.debug_assert_conserved();
-    let page = crate::metrics::render(&server, &state.recorder.snapshot());
+/// `GET /metrics`: the shared registry rendered as Prometheus text,
+/// conservation-checked the same way as `/stats`. An
+/// `Accept: application/openmetrics-text` header selects the
+/// OpenMetrics rendering (exemplars on latency buckets, `# EOF`
+/// trailer); anything else gets the classic 0.0.4 text format.
+fn metrics(state: &AppState, request: &Request) -> Response {
+    // Snapshot both layers first: this refreshes the scrape-time gauges
+    // (queue depth, in-flight, uptimes) the render below will read, and
+    // conservation-checks the page before publishing it.
+    state.server.stats().debug_assert_conserved();
+    let _ = state.recorder.snapshot();
+    let registry = state.recorder.registry();
+    let (page, content_type) = if crate::metrics::wants_openmetrics(request.header("accept")) {
+        (
+            registry.render_openmetrics(),
+            crate::metrics::OPENMETRICS_CONTENT_TYPE,
+        )
+    } else {
+        (registry.render(), crate::metrics::TEXT_CONTENT_TYPE)
+    };
     Response {
-        // The content type Prometheus scrapers negotiate for the classic
-        // text format.
-        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        content_type,
         ..Response::text(200, page)
     }
 }

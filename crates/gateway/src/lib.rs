@@ -24,9 +24,15 @@
 //! * **Observability** — `GET /health` (liveness), `GET /stats` (the
 //!   human-readable [`ServerStats`]/[`GatewayStats`] dump, conservation
 //!   checked by [`ServerStats::debug_assert_conserved`]) and
-//!   `GET /metrics` (Prometheus text exposition of both layers'
-//!   counters and latency percentiles — see `docs/METRICS.md` for the
-//!   full reference, kept honest by a live-scrape diff test).
+//!   `GET /metrics`: both layers register into one shared
+//!   [`snappix_metrics::Registry`] (the gateway joins
+//!   [`Server::metrics`] at bind time), so the page is rendered
+//!   generically from the registry — counters, gauges, and mergeable
+//!   log-linear latency *histograms* covering every request since
+//!   start. An `Accept: application/openmetrics-text` header selects
+//!   the OpenMetrics rendering, with trace-id exemplars on latency
+//!   buckets and the `# EOF` trailer; see `docs/METRICS.md` for the
+//!   full reference, kept honest by a live-scrape diff test.
 //! * **Tracing** — when the fronted server carries a
 //!   [`Tracer`](snappix_trace::Tracer), every classify request is
 //!   traced end to end (`accept`/`parse` → `queue_wait` → `batch` →

@@ -1,514 +1,64 @@
-//! Prometheus text-exposition rendering for the `/metrics` endpoint.
+//! `/metrics` content negotiation over the shared registry.
 //!
-//! Std-only: the exposition format is line-oriented text
-//! (`name{label="value"} number`), so no client library is needed.
-//! Every metric family rendered here gets `# HELP` and `# TYPE` lines,
-//! and every family is documented in `docs/METRICS.md` — a test in
+//! The page itself is rendered generically by
+//! [`snappix_metrics::Registry`] — the gateway and the fronted server
+//! register their families into one registry, so the hand-rolled
+//! per-family writer this module used to hold is gone. What remains is
+//! the HTTP-facing part: which exposition format a scraper asked for,
+//! and the content types the two formats are served under. Every family
+//! on the page is documented in `docs/METRICS.md`; a test in
 //! `tests/gateway.rs` diffs that table against a live scrape in both
 //! directions, so the reference cannot silently rot.
 
-use crate::stats::GatewayStats;
-use snappix_serve::{LatencySummary, ServerStats};
-use std::fmt::Write as _;
-use std::time::Duration;
+/// The content type of the classic Prometheus text format — the
+/// default, and what plain `curl` gets.
+pub const TEXT_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// Renders one Prometheus text-format page from a pair of snapshots:
-/// the serving layer's [`ServerStats`] (as `snappix_server_*`) and the
-/// front-end's [`GatewayStats`] (as `snappix_gateway_*`).
+/// The OpenMetrics content type, served when the scraper's `Accept`
+/// header asks for it. OpenMetrics pages carry exemplars (trace ids on
+/// latency buckets) and end with the mandatory `# EOF` trailer.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// The media type scrapers put in `Accept` to request OpenMetrics.
+pub const OPENMETRICS_MEDIA_TYPE: &str = "application/openmetrics-text";
+
+/// Whether an `Accept` header value asks for OpenMetrics.
 ///
-/// Also available to operators embedding the serving stack without a
-/// gateway: take a [`Server::stats`](snappix_serve::Server::stats)
-/// snapshot and push the rendered page wherever it is needed.
-pub fn render(server: &ServerStats, gateway: &GatewayStats) -> String {
-    let mut out = String::with_capacity(4096);
-    render_gateway(&mut out, gateway);
-    render_server(&mut out, server);
-    out
-}
-
-fn render_gateway(out: &mut String, g: &GatewayStats) {
-    family(
-        out,
-        "snappix_gateway_connections_total",
-        "counter",
-        "TCP connections accepted by the gateway.",
-    );
-    sample(out, "snappix_gateway_connections_total", &[], g.connections);
-
-    family(
-        out,
-        "snappix_gateway_connections_active",
-        "gauge",
-        "Connections currently open.",
-    );
-    sample(
-        out,
-        "snappix_gateway_connections_active",
-        &[],
-        g.active_connections as u64,
-    );
-
-    family(
-        out,
-        "snappix_gateway_connections_rejected_total",
-        "counter",
-        "Connections turned away at the max_connections cap.",
-    );
-    sample(
-        out,
-        "snappix_gateway_connections_rejected_total",
-        &[],
-        g.connections_rejected,
-    );
-
-    family(
-        out,
-        "snappix_gateway_requests_total",
-        "counter",
-        "Requests answered, by endpoint and HTTP status.",
-    );
-    for r in &g.requests {
-        let status = r.status.to_string();
-        sample(
-            out,
-            "snappix_gateway_requests_total",
-            &[("endpoint", r.endpoint.as_str()), ("status", &status)],
-            r.count,
-        );
-    }
-
-    family(
-        out,
-        "snappix_gateway_rate_limited_total",
-        "counter",
-        "Classify requests shed by the per-client token bucket.",
-    );
-    sample(
-        out,
-        "snappix_gateway_rate_limited_total",
-        &[],
-        g.rate_limited,
-    );
-
-    family(
-        out,
-        "snappix_gateway_bytes_read_total",
-        "counter",
-        "Request bytes read off the wire (heads plus bodies).",
-    );
-    sample(out, "snappix_gateway_bytes_read_total", &[], g.bytes_read);
-
-    family(
-        out,
-        "snappix_gateway_bytes_written_total",
-        "counter",
-        "Response bytes written to the wire.",
-    );
-    sample(
-        out,
-        "snappix_gateway_bytes_written_total",
-        &[],
-        g.bytes_written,
-    );
-
-    family(
-        out,
-        "snappix_gateway_request_latency_seconds",
-        "summary",
-        "Wire latency per endpoint: last header byte parsed to response flushed.",
-    );
-    for l in &g.latency {
-        let labels = [("endpoint", l.endpoint.as_str())];
-        quantile_samples(
-            out,
-            "snappix_gateway_request_latency_seconds",
-            &labels,
-            &l.summary,
-        );
-        float_sample(
-            out,
-            "snappix_gateway_request_latency_seconds_sum",
-            &labels,
-            l.total.as_secs_f64(),
-        );
-        sample(
-            out,
-            "snappix_gateway_request_latency_seconds_count",
-            &labels,
-            l.summary.samples,
-        );
-    }
-
-    family(
-        out,
-        "snappix_gateway_uptime_seconds",
-        "gauge",
-        "Seconds since the gateway started listening.",
-    );
-    float_sample(
-        out,
-        "snappix_gateway_uptime_seconds",
-        &[],
-        g.uptime.as_secs_f64(),
-    );
-}
-
-fn render_server(out: &mut String, s: &ServerStats) {
-    let counters: [(&str, &str, u64); 5] = [
-        (
-            "snappix_server_requests_submitted_total",
-            "Requests admitted into the serving queue.",
-            s.submitted,
-        ),
-        (
-            "snappix_server_requests_completed_total",
-            "Admitted requests answered with a prediction.",
-            s.completed,
-        ),
-        (
-            "snappix_server_requests_rejected_total",
-            "Submissions shed with Overloaded (never admitted).",
-            s.rejected,
-        ),
-        (
-            "snappix_server_requests_expired_total",
-            "Admitted requests expired at their deadline instead of being run.",
-            s.expired,
-        ),
-        (
-            "snappix_server_requests_failed_total",
-            "Admitted requests that rode in a batch whose inference failed.",
-            s.failed,
-        ),
-    ];
-    for (name, help, value) in counters {
-        family(out, name, "counter", help);
-        sample(out, name, &[], value);
-    }
-
-    family(
-        out,
-        "snappix_server_requests_in_flight",
-        "gauge",
-        "Admitted requests not yet resolved (queued or mid-batch).",
-    );
-    sample(out, "snappix_server_requests_in_flight", &[], s.in_flight());
-
-    family(
-        out,
-        "snappix_server_queue_depth",
-        "gauge",
-        "Requests sitting in the admission queue right now.",
-    );
-    sample(out, "snappix_server_queue_depth", &[], s.queue_depth as u64);
-
-    family(
-        out,
-        "snappix_server_resident_weight_bytes",
-        "gauge",
-        "Bytes of model weights resident across all worker replicas (shared storage counted once).",
-    );
-    sample(
-        out,
-        "snappix_server_resident_weight_bytes",
-        &[],
-        s.resident_weight_bytes,
-    );
-
-    family(
-        out,
-        "snappix_server_batches_total",
-        "counter",
-        "Batched forward passes executed.",
-    );
-    sample(out, "snappix_server_batches_total", &[], s.batches);
-
-    family(
-        out,
-        "snappix_server_batch_size",
-        "histogram",
-        "Executed batch sizes (clips per forward pass).",
-    );
-    let mut cumulative = 0u64;
-    for (size, &count) in s.batch_sizes.iter().enumerate().skip(1) {
-        cumulative += count;
-        let le = size.to_string();
-        sample(
-            out,
-            "snappix_server_batch_size_bucket",
-            &[("le", &le)],
-            cumulative,
-        );
-    }
-    sample(
-        out,
-        "snappix_server_batch_size_bucket",
-        &[("le", "+Inf")],
-        s.batches,
-    );
-    sample(out, "snappix_server_batch_size_sum", &[], s.clips_batched());
-    sample(out, "snappix_server_batch_size_count", &[], s.batches);
-
-    family(
-        out,
-        "snappix_server_queue_latency_seconds",
-        "summary",
-        "Time requests spent queued before their batch was claimed.",
-    );
-    quantile_samples(
-        out,
-        "snappix_server_queue_latency_seconds",
-        &[],
-        &s.queue_latency,
-    );
-    float_sample(
-        out,
-        "snappix_server_queue_latency_seconds_sum",
-        &[],
-        s.queue_latency.total.as_secs_f64(),
-    );
-    sample(
-        out,
-        "snappix_server_queue_latency_seconds_count",
-        &[],
-        s.queue_latency.samples,
-    );
-
-    family(
-        out,
-        "snappix_server_compute_latency_seconds",
-        "summary",
-        "Time batches spent in the pipeline forward pass.",
-    );
-    quantile_samples(
-        out,
-        "snappix_server_compute_latency_seconds",
-        &[],
-        &s.compute_latency,
-    );
-    float_sample(
-        out,
-        "snappix_server_compute_latency_seconds_sum",
-        &[],
-        s.compute_latency.total.as_secs_f64(),
-    );
-    sample(
-        out,
-        "snappix_server_compute_latency_seconds_count",
-        &[],
-        s.compute_latency.samples,
-    );
-
-    family(
-        out,
-        "snappix_server_stage_latency_seconds",
-        "summary",
-        "Forward-pass wall time by pipeline stage, aggregated across worker replicas.",
-    );
-    for (stage, p) in [
-        ("sense", s.profile.sense),
-        ("forward", s.profile.forward),
-        ("readout", s.profile.readout),
-    ] {
-        let labels = [("stage", stage)];
-        float_sample(
-            out,
-            "snappix_server_stage_latency_seconds_sum",
-            &labels,
-            p.total.as_secs_f64(),
-        );
-        sample(
-            out,
-            "snappix_server_stage_latency_seconds_count",
-            &labels,
-            p.calls,
-        );
-    }
-
-    family(
-        out,
-        "snappix_server_uptime_seconds",
-        "gauge",
-        "Seconds since the server started.",
-    );
-    float_sample(
-        out,
-        "snappix_server_uptime_seconds",
-        &[],
-        s.uptime.as_secs_f64(),
-    );
-}
-
-/// `# HELP` + `# TYPE` header for one metric family.
-fn family(out: &mut String, name: &str, kind: &str, help: &str) {
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} {kind}");
-}
-
-/// One integer-valued sample line.
-fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
-    let _ = writeln!(out, "{}{} {value}", name, label_set(labels));
-}
-
-/// One float-valued sample line. Rust's shortest-round-trip float
-/// formatting keeps the value exact for any scraper that parses f64.
-fn float_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
-    let _ = writeln!(out, "{}{} {value}", name, label_set(labels));
-}
-
-/// The `(quantile, value)` lines of a latency summary, in seconds.
-fn quantile_samples(out: &mut String, name: &str, labels: &[(&str, &str)], s: &LatencySummary) {
-    for (quantile, value) in s.quantiles() {
-        let q = quantile.to_string();
-        let mut with_q: Vec<(&str, &str)> = labels.to_vec();
-        with_q.push(("quantile", &q));
-        float_sample(out, name, &with_q, as_seconds(value));
-    }
-}
-
-fn as_seconds(d: Duration) -> f64 {
-    d.as_secs_f64()
-}
-
-/// `{a="x",b="y"}`, or the empty string for an unlabelled sample. Label
-/// values here are endpoint names, statuses, and numbers — none contain
-/// the `"`, `\` or newline characters the format would need escaped.
-fn label_set(labels: &[(&str, &str)]) -> String {
-    if labels.is_empty() {
-        return String::new();
-    }
-    let inner: Vec<String> = labels
-        .iter()
-        .map(|(name, value)| format!("{name}=\"{value}\""))
-        .collect();
-    format!("{{{}}}", inner.join(","))
+/// Prometheus sends a list like
+/// `application/openmetrics-text;version=1.0.0;q=0.75,text/plain;q=0.5`;
+/// any entry naming the OpenMetrics media type (with or without
+/// parameters) selects it. No `Accept`, or one without the media type,
+/// keeps the classic text format — the conservative default.
+pub fn wants_openmetrics(accept: Option<&str>) -> bool {
+    let Some(accept) = accept else { return false };
+    accept.split(',').any(|entry| {
+        entry
+            .split(';')
+            .next()
+            .is_some_and(|media| media.trim().eq_ignore_ascii_case(OPENMETRICS_MEDIA_TYPE))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::Recorder;
-    use crate::Endpoint;
-
-    fn server_stats() -> ServerStats {
-        let profile = snappix::PipelineProfile {
-            sense: snappix::StageProfile {
-                calls: 3,
-                total: Duration::from_millis(6),
-                max: Duration::from_millis(3),
-            },
-            forward: snappix::StageProfile {
-                calls: 3,
-                total: Duration::from_millis(30),
-                max: Duration::from_millis(12),
-            },
-            readout: snappix::StageProfile {
-                calls: 3,
-                total: Duration::from_millis(3),
-                max: Duration::from_millis(1),
-            },
-            batches: 3,
-            clips: 7,
-        };
-        ServerStats {
-            submitted: 10,
-            completed: 7,
-            rejected: 2,
-            expired: 1,
-            failed: 0,
-            batches: 3,
-            batch_sizes: vec![0, 1, 0, 2], // 1 single + 2 triples = 7 clips
-            queue_depth: 1,
-            resident_weight_bytes: 65536,
-            uptime: Duration::from_secs(5),
-            queue_latency: LatencySummary::from_samples(&[
-                Duration::from_millis(1),
-                Duration::from_millis(2),
-            ]),
-            compute_latency: LatencySummary::from_samples(&[Duration::from_millis(4)]),
-            profile,
-        }
-    }
-
-    fn gateway_stats() -> GatewayStats {
-        let r = Recorder::new();
-        r.record_connection();
-        r.record_request(Endpoint::Classify, 200, 4096, 128, Duration::from_millis(2));
-        r.record_request(Endpoint::Classify, 503, 4096, 64, Duration::from_micros(90));
-        r.record_rate_limited();
-        r.snapshot()
-    }
 
     #[test]
-    fn renders_declared_families_with_samples() {
-        let page = render(&server_stats(), &gateway_stats());
-        for needle in [
-            "# TYPE snappix_gateway_connections_total counter\nsnappix_gateway_connections_total 1\n",
-            "snappix_gateway_requests_total{endpoint=\"classify\",status=\"200\"} 1\n",
-            "snappix_gateway_requests_total{endpoint=\"classify\",status=\"503\"} 1\n",
-            "snappix_gateway_rate_limited_total 1\n",
-            "snappix_gateway_request_latency_seconds{endpoint=\"classify\",quantile=\"0.5\"}",
-            "snappix_gateway_request_latency_seconds_count{endpoint=\"classify\"} 2\n",
-            "snappix_server_requests_submitted_total 10\n",
-            "snappix_server_requests_in_flight 2\n",
-            "snappix_server_resident_weight_bytes 65536\n",
-            "snappix_server_batch_size_bucket{le=\"1\"} 1\n",
-            "snappix_server_batch_size_bucket{le=\"3\"} 3\n",
-            "snappix_server_batch_size_bucket{le=\"+Inf\"} 3\n",
-            "snappix_server_batch_size_sum 7\n",
-            "snappix_server_batch_size_count 3\n",
-            "snappix_server_queue_latency_seconds{quantile=\"0.99\"} 0.002\n",
-            "snappix_server_queue_latency_seconds_sum 0.003\n",
-            "snappix_server_compute_latency_seconds_sum 0.004\n",
-            "snappix_server_compute_latency_seconds_count 1\n",
-            "snappix_server_stage_latency_seconds_sum{stage=\"sense\"} 0.006\n",
-            "snappix_server_stage_latency_seconds_sum{stage=\"forward\"} 0.03\n",
-            "snappix_server_stage_latency_seconds_count{stage=\"readout\"} 3\n",
-        ] {
-            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
-        }
-    }
-
-    #[test]
-    fn every_sample_line_belongs_to_a_declared_family() {
-        let page = render(&server_stats(), &gateway_stats());
-        let mut families = Vec::new();
-        for line in page.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                families.push(rest.split(' ').next().expect("name").to_string());
-            }
-        }
-        for line in page.lines().filter(|l| !l.starts_with('#')) {
-            let name = line
-                .split(['{', ' '])
-                .next()
-                .expect("sample lines start with a metric name");
-            let base = name
-                .strip_suffix("_bucket")
-                .or_else(|| name.strip_suffix("_sum"))
-                .or_else(|| name.strip_suffix("_count"))
-                .filter(|base| families.contains(&(*base).to_string()))
-                .unwrap_or(name);
-            assert!(
-                families.contains(&base.to_string()),
-                "sample {name} has no # TYPE declaration"
-            );
-        }
-    }
-
-    #[test]
-    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
-        let page = render(&server_stats(), &gateway_stats());
-        let bucket = |le: &str| -> u64 {
-            let needle = format!("snappix_server_batch_size_bucket{{le=\"{le}\"}} ");
-            page.lines()
-                .find_map(|l| l.strip_prefix(&needle))
-                .unwrap_or_else(|| panic!("bucket {le} missing"))
-                .parse()
-                .expect("integer")
-        };
-        assert!(bucket("1") <= bucket("2"));
-        assert!(bucket("2") <= bucket("3"));
-        assert_eq!(bucket("+Inf"), 3);
+    fn negotiates_openmetrics_only_when_asked() {
+        assert!(!wants_openmetrics(None));
+        assert!(!wants_openmetrics(Some("*/*")));
+        assert!(!wants_openmetrics(Some("text/plain; version=0.0.4")));
+        assert!(wants_openmetrics(Some("application/openmetrics-text")));
+        assert!(wants_openmetrics(Some("Application/OpenMetrics-Text")));
+        assert!(wants_openmetrics(Some(
+            "application/openmetrics-text; version=1.0.0; charset=utf-8"
+        )));
+        assert!(wants_openmetrics(Some(
+            "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5"
+        )));
+        assert!(!wants_openmetrics(Some(
+            "application/openmetrics-json, text/html"
+        )));
     }
 }

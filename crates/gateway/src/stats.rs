@@ -1,15 +1,21 @@
 //! Gateway telemetry: connection/request/byte counters and per-endpoint
-//! latency percentiles, snapshotted as [`GatewayStats`].
+//! latency histograms, snapshotted as [`GatewayStats`].
+//!
+//! Like the serving layer, every number lives in a
+//! [`snappix_metrics::Registry`] — the gateway registers its
+//! `snappix_gateway_*` families into the *same* registry the fronted
+//! server records into, so one render produces the whole `/metrics`
+//! page. Per-endpoint wire latency is a log-linear histogram (every
+//! request since start is counted; percentiles carry bounded relative
+//! error and trace-id exemplars), and [`GatewayStats`] is derived from
+//! the registry cells, so the struct and the page always agree.
 
+use snappix_metrics::{Counter, Gauge, Histogram, HistogramOpts, Registry};
 use snappix_serve::LatencySummary;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
-
-/// Per-endpoint latency windows match the serving layer's sizing: the
-/// percentiles track *current* behaviour, the counters are all-time.
-const LATENCY_WINDOW: usize = 4096;
 
 /// The gateway's routable endpoints, used as the `endpoint` label on
 /// every request metric.
@@ -32,6 +38,18 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
+    /// Every routable endpoint, in label order — the latency histogram
+    /// for each is registered up front so the `/metrics` page's family
+    /// shape does not depend on which endpoints have served traffic.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Classify,
+        Endpoint::Health,
+        Endpoint::Stats,
+        Endpoint::Metrics,
+        Endpoint::Trace,
+        Endpoint::Other,
+    ];
+
     /// The `endpoint` label value.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -67,10 +85,11 @@ pub struct RequestCount {
 pub struct EndpointLatency {
     /// Which endpoint.
     pub endpoint: Endpoint,
-    /// Sliding-window percentiles plus the all-time sample count and
-    /// running total (same semantics as the serving layer's summaries).
+    /// All-time percentiles derived from the endpoint's latency
+    /// histogram (same semantics as the serving layer's summaries:
+    /// exact count/total/max, bounded-error percentiles).
     pub summary: LatencySummary,
-    /// All-time total time spent answering (a Prometheus summary's
+    /// All-time total time spent answering (a Prometheus histogram's
     /// `_sum`); equal to `summary.total`, kept for direct access.
     pub total: Duration,
 }
@@ -82,6 +101,10 @@ pub struct EndpointLatency {
 /// parsed to the response flushed — so for classify it wraps the whole
 /// serve-side queue + batch + compute round trip plus body decode and
 /// response encode.
+///
+/// With a [disabled](snappix_metrics::Registry::disabled) metrics
+/// registry on the fronted server every field is zero; serving
+/// behaviour on the wire is bit-for-bit identical either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatewayStats {
     /// TCP connections accepted (all-time).
@@ -165,78 +188,126 @@ impl fmt::Display for GatewayStats {
     }
 }
 
-/// A bounded sliding latency window that also keeps the all-time sum
-/// (for Prometheus summary `_sum`/`_count`).
-#[derive(Debug, Default)]
-struct Window {
-    recent: VecDeque<Duration>,
-    seen: u64,
-    total: Duration,
-}
-
-impl Window {
-    fn record(&mut self, sample: Duration) {
-        if self.recent.len() == LATENCY_WINDOW {
-            self.recent.pop_front();
-        }
-        self.recent.push_back(sample);
-        self.seen += 1;
-        self.total += sample;
-    }
-}
-
-#[derive(Debug, Default)]
-struct Counters {
-    connections: u64,
-    active_connections: usize,
-    connections_rejected: u64,
-    requests: BTreeMap<(Endpoint, u16), u64>,
-    rate_limited: u64,
-    bytes_read: u64,
-    bytes_written: u64,
-    latency: BTreeMap<Endpoint, Window>,
-}
-
-/// The internally-locked recorder connection handlers write into.
+/// The recorder connection handlers write into: registry handles for
+/// every fixed family, plus a cache of `(endpoint, status)` counters
+/// (registration is idempotent, but the cache keeps the hot path off
+/// the registry lock).
 #[derive(Debug)]
 pub(crate) struct Recorder {
     started: Instant,
-    counters: Mutex<Counters>,
+    registry: Registry,
+    connections: Counter,
+    active_connections: Gauge,
+    connections_rejected: Counter,
+    rate_limited: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    requests: Mutex<BTreeMap<(Endpoint, u16), Counter>>,
+    latency: Vec<(Endpoint, Histogram)>,
+    uptime: Gauge,
 }
 
 impl Recorder {
-    pub fn new() -> Self {
+    /// Registers the `snappix_gateway_*` families (plus
+    /// `snappix_build_info`) on `registry` — typically the fronted
+    /// server's, so one page carries both layers.
+    pub fn new(registry: Registry) -> Self {
+        let connections = registry.counter(
+            "snappix_gateway_connections_total",
+            "TCP connections accepted by the gateway.",
+        );
+        let active_connections = registry.gauge(
+            "snappix_gateway_connections_active",
+            "Connections currently open.",
+        );
+        let connections_rejected = registry.counter(
+            "snappix_gateway_connections_rejected_total",
+            "Connections turned away at the max_connections cap.",
+        );
+        let rate_limited = registry.counter(
+            "snappix_gateway_rate_limited_total",
+            "Classify requests shed by the per-client token bucket.",
+        );
+        let bytes_read = registry.counter(
+            "snappix_gateway_bytes_read_total",
+            "Request bytes read off the wire (heads plus bodies).",
+        );
+        let bytes_written = registry.counter(
+            "snappix_gateway_bytes_written_total",
+            "Response bytes written to the wire.",
+        );
+        let latency = Endpoint::ALL
+            .into_iter()
+            .map(|endpoint| {
+                (
+                    endpoint,
+                    registry.histogram_with(
+                        "snappix_gateway_request_latency_seconds",
+                        "Wire latency per endpoint: last header byte parsed to \
+                         response flushed.",
+                        HistogramOpts::nanos().with_exemplars(),
+                        &[("endpoint", endpoint.as_str())],
+                    ),
+                )
+            })
+            .collect();
+        let uptime = registry.gauge(
+            "snappix_gateway_uptime_seconds",
+            "Seconds since the gateway started listening.",
+        );
+        registry
+            .gauge_with(
+                "snappix_build_info",
+                "Build metadata of the serving stack; the value is always 1.",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1.0);
         Recorder {
             started: Instant::now(),
-            counters: Mutex::new(Counters::default()),
+            registry,
+            connections,
+            active_connections,
+            connections_rejected,
+            rate_limited,
+            bytes_read,
+            bytes_written,
+            requests: Mutex::new(BTreeMap::new()),
+            latency,
+            uptime,
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
-        self.counters.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The registry the gateway's families live in (shared with the
+    /// fronted server).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(Endpoint, u16), Counter>> {
+        self.requests.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn record_connection(&self) {
-        let mut c = self.lock();
-        c.connections += 1;
-        c.active_connections += 1;
+        self.connections.inc();
+        self.active_connections.add(1.0);
     }
 
     pub fn record_disconnect(&self) {
-        let mut c = self.lock();
-        c.active_connections = c.active_connections.saturating_sub(1);
+        self.active_connections.add(-1.0);
     }
 
     pub fn record_connection_rejected(&self) {
-        self.lock().connections_rejected += 1;
+        self.connections_rejected.inc();
     }
 
     pub fn record_rate_limited(&self) {
-        self.lock().rate_limited += 1;
+        self.rate_limited.inc();
     }
 
     /// One answered request: who answered, with what status, the bytes
-    /// both ways, and the wire latency.
+    /// both ways, the wire latency, and the trace id carried on the
+    /// response (0 when untraced) — attached to the latency histogram
+    /// as an exemplar.
     pub fn record_request(
         &self,
         endpoint: Endpoint,
@@ -244,64 +315,71 @@ impl Recorder {
         bytes_read: u64,
         bytes_written: u64,
         latency: Duration,
+        trace_id: u64,
     ) {
-        let mut c = self.lock();
-        *c.requests.entry((endpoint, status)).or_insert(0) += 1;
-        c.bytes_read += bytes_read;
-        c.bytes_written += bytes_written;
-        c.latency.entry(endpoint).or_default().record(latency);
+        {
+            let mut requests = self.lock();
+            requests
+                .entry((endpoint, status))
+                .or_insert_with(|| {
+                    self.registry.counter_with(
+                        "snappix_gateway_requests_total",
+                        "Requests answered, by endpoint and HTTP status.",
+                        &[
+                            ("endpoint", endpoint.as_str()),
+                            ("status", &status.to_string()),
+                        ],
+                    )
+                })
+                .inc();
+        }
+        self.bytes_read.add(bytes_read);
+        self.bytes_written.add(bytes_written);
+        if let Some((_, hist)) = self.latency.iter().find(|(e, _)| *e == endpoint) {
+            hist.record_with_trace(latency.as_nanos() as u64, trace_id);
+        }
     }
 
     pub fn snapshot(&self) -> GatewayStats {
-        // Copy out under the lock; rank percentiles after releasing it.
-        let (mut stats, windows) = {
-            let c = self.lock();
-            (
-                GatewayStats {
-                    connections: c.connections,
-                    active_connections: c.active_connections,
-                    connections_rejected: c.connections_rejected,
-                    requests: c
-                        .requests
-                        .iter()
-                        .map(|(&(endpoint, status), &count)| RequestCount {
-                            endpoint,
-                            status,
-                            count,
-                        })
-                        .collect(),
-                    rate_limited: c.rate_limited,
-                    bytes_read: c.bytes_read,
-                    bytes_written: c.bytes_written,
-                    latency: Vec::new(),
-                    uptime: self.started.elapsed(),
-                },
-                c.latency
-                    .iter()
-                    .map(|(&endpoint, w)| {
-                        (
-                            endpoint,
-                            w.recent.iter().copied().collect::<Vec<_>>(),
-                            w.seen,
-                            w.total,
-                        )
-                    })
-                    .collect::<Vec<_>>(),
-            )
-        };
-        stats.latency = windows
-            .into_iter()
-            .map(|(endpoint, recent, seen, total)| EndpointLatency {
+        let requests: Vec<RequestCount> = self
+            .lock()
+            .iter()
+            .map(|(&(endpoint, status), counter)| RequestCount {
                 endpoint,
-                summary: LatencySummary {
-                    samples: seen,
-                    total,
-                    ..LatencySummary::from_samples(&recent)
-                },
-                total,
+                status,
+                count: counter.get(),
             })
             .collect();
-        stats
+        let latency: Vec<EndpointLatency> = self
+            .latency
+            .iter()
+            .filter_map(|(endpoint, hist)| {
+                let snap = hist.snapshot();
+                (snap.count > 0).then(|| {
+                    let summary = LatencySummary::from_histogram(&snap);
+                    EndpointLatency {
+                        endpoint: *endpoint,
+                        summary,
+                        total: summary.total,
+                    }
+                })
+            })
+            .collect();
+        let mut by_endpoint = latency;
+        by_endpoint.sort_by_key(|l| l.endpoint);
+        let uptime = self.started.elapsed();
+        self.uptime.set(uptime.as_secs_f64());
+        GatewayStats {
+            connections: self.connections.get(),
+            active_connections: self.active_connections.get().max(0.0) as usize,
+            connections_rejected: self.connections_rejected.get(),
+            requests,
+            rate_limited: self.rate_limited.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            latency: by_endpoint,
+            uptime,
+        }
     }
 }
 
@@ -311,16 +389,24 @@ mod tests {
 
     #[test]
     fn records_and_snapshots_every_counter() {
-        let r = Recorder::new();
+        let r = Recorder::new(Registry::new());
         r.record_connection();
         r.record_connection();
         r.record_disconnect();
         r.record_connection_rejected();
         r.record_rate_limited();
-        r.record_request(Endpoint::Classify, 200, 4096, 120, Duration::from_millis(3));
-        r.record_request(Endpoint::Classify, 200, 4096, 120, Duration::from_millis(5));
-        r.record_request(Endpoint::Classify, 429, 64, 40, Duration::from_micros(20));
-        r.record_request(Endpoint::Health, 200, 30, 50, Duration::from_micros(10));
+        let ms = Duration::from_millis;
+        r.record_request(Endpoint::Classify, 200, 4096, 120, ms(3), 0xbeef);
+        r.record_request(Endpoint::Classify, 200, 4096, 120, ms(5), 0);
+        r.record_request(
+            Endpoint::Classify,
+            429,
+            64,
+            40,
+            Duration::from_micros(20),
+            0,
+        );
+        r.record_request(Endpoint::Health, 200, 30, 50, Duration::from_micros(10), 0);
         let s = r.snapshot();
         assert_eq!(s.connections, 2);
         assert_eq!(s.active_connections, 1);
@@ -338,11 +424,8 @@ mod tests {
             .find(|l| l.endpoint == Endpoint::Classify)
             .expect("classify latency tracked");
         assert_eq!(classify.summary.samples, 3);
-        assert_eq!(classify.summary.max, Duration::from_millis(5));
-        assert_eq!(
-            classify.total,
-            Duration::from_millis(8) + Duration::from_micros(20)
-        );
+        assert_eq!(classify.summary.max, ms(5));
+        assert_eq!(classify.total, ms(8) + Duration::from_micros(20));
         assert_eq!(
             classify.summary.total, classify.total,
             "the summary carries the same all-time total"
@@ -353,6 +436,21 @@ mod tests {
         assert!(text.contains("classify 200: 2"), "{text}");
         assert!(text.contains("p99"), "{text}");
         assert!(text.contains("1 rate-limited"), "{text}");
+
+        // The same numbers render straight off the shared registry,
+        // including the trace exemplar on the classify histogram.
+        let page = r.registry().render_openmetrics();
+        for needle in [
+            "snappix_gateway_connections_total 2\n",
+            "snappix_gateway_connections_active 1\n",
+            "snappix_gateway_requests_total{endpoint=\"classify\",status=\"200\"} 2\n",
+            "snappix_gateway_requests_total{endpoint=\"classify\",status=\"429\"} 1\n",
+            "snappix_gateway_request_latency_seconds_count{endpoint=\"classify\"} 3\n",
+            "snappix_build_info{version=\"",
+            "trace_id=\"48879\"", // 0xbeef, on a classify bucket
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
     }
 
     #[test]
@@ -365,9 +463,23 @@ mod tests {
             (Endpoint::Trace, "trace"),
             (Endpoint::Other, "other"),
         ];
+        assert_eq!(Endpoint::ALL.len(), all.len());
         for (endpoint, label) in all {
             assert_eq!(endpoint.as_str(), label);
             assert_eq!(endpoint.to_string(), label);
         }
+    }
+
+    #[test]
+    fn disabled_registry_reads_all_zero() {
+        let r = Recorder::new(Registry::disabled());
+        r.record_connection();
+        r.record_request(Endpoint::Health, 200, 10, 10, Duration::from_micros(5), 0);
+        let s = r.snapshot();
+        assert_eq!(s.connections, 0);
+        assert_eq!(s.requests.len(), 1, "the cache still tracks keys");
+        assert_eq!(s.requests_total(), 0, "but the cells record nothing");
+        assert!(s.latency.is_empty());
+        assert_eq!(r.registry().render(), "");
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests for the log-linear histogram core: the invariants the
+//! rest of the stack leans on (lossless counting, mergeability, bounded
+//! quantile error) hold for arbitrary sample streams, not just the
+//! hand-picked cases in the unit tests.
+
+use proptest::prelude::*;
+use snappix_metrics::{Histogram, HistogramOpts, HistogramSnapshot, Registry};
+
+/// Builds a standalone histogram over `values` with `bits` sub-bucket
+/// bits.
+fn filled(values: &[u64], bits: u32) -> Histogram {
+    let hist = Histogram::standalone(HistogramOpts::default().with_sub_bucket_bits(bits));
+    for &v in values {
+        hist.record(v);
+    }
+    hist
+}
+
+/// Strips exemplars so merge-order comparisons only see the
+/// order-independent parts (counts, sums, bounds).
+fn counts_of(snap: &HistogramSnapshot) -> (u64, u64, u64, Vec<(u64, u64)>) {
+    (
+        snap.count,
+        snap.sum,
+        snap.max,
+        snap.buckets.iter().map(|b| (b.upper, b.count)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count conservation: every recorded sample is in exactly one
+    /// bucket — the bucket counts sum to `count`, which equals the
+    /// number of recordings, and `sum` is the exact total. No sliding
+    /// window, no lost samples.
+    #[test]
+    fn count_conservation(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        bits in 1u32..10,
+    ) {
+        let snap = filled(&values, bits).snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(
+            snap.buckets.iter().map(|b| b.count).sum::<u64>(),
+            snap.count
+        );
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merge is commutative and associative: folding per-worker
+    /// histograms into one export cannot depend on worker order.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(0u64..10_000_000, 0..120),
+        b in prop::collection::vec(0u64..10_000_000, 0..120),
+        c in prop::collection::vec(0u64..10_000_000, 0..120),
+        bits in 1u32..10,
+    ) {
+        let (sa, sb, sc) = (
+            filled(&a, bits).snapshot(),
+            filled(&b, bits).snapshot(),
+            filled(&c, bits).snapshot(),
+        );
+        prop_assert_eq!(counts_of(&sa.merge(&sb)), counts_of(&sb.merge(&sa)));
+        prop_assert_eq!(
+            counts_of(&sa.merge(&sb).merge(&sc)),
+            counts_of(&sa.merge(&sb.merge(&sc)))
+        );
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(
+            counts_of(&sa.merge(&sb).merge(&sc)),
+            counts_of(&filled(&all, bits).snapshot())
+        );
+    }
+
+    /// The value→bucket mapping is monotone: a larger value never lands
+    /// in an earlier bucket, and every bucket contains its value.
+    #[test]
+    fn bucket_mapping_is_monotone(
+        pair in prop::collection::vec(0u64..u64::MAX, 2),
+        bits in 1u32..10,
+    ) {
+        let mut pair = pair;
+        pair.sort_unstable();
+        let (lo, hi) = (pair[0], pair[1]);
+        let hist = Histogram::standalone(HistogramOpts::default().with_sub_bucket_bits(bits));
+        hist.record(lo);
+        let lo_upper = hist.snapshot().buckets[0].upper;
+        let hist = Histogram::standalone(HistogramOpts::default().with_sub_bucket_bits(bits));
+        hist.record(hi);
+        let hi_upper = hist.snapshot().buckets[0].upper;
+        prop_assert!(lo <= lo_upper, "bucket upper {lo_upper} below value {lo}");
+        prop_assert!(hi <= hi_upper, "bucket upper {hi_upper} below value {hi}");
+        prop_assert!(
+            lo_upper <= hi_upper,
+            "larger value {hi} mapped below smaller {lo}"
+        );
+    }
+
+    /// Quantile relative error is bounded by the configured growth
+    /// factor 2^-bits: the reported quantile never undershoots the
+    /// exact nearest-rank order statistic and overshoots it by at most
+    /// the factor.
+    #[test]
+    fn quantile_error_is_bounded_by_growth_factor(
+        values in prop::collection::vec(1u64..100_000_000, 1..250),
+        bits in 1u32..10,
+        q in 0.0f64..1.0,
+    ) {
+        let snap = filled(&values, bits).snapshot();
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let got = snap.quantile(q);
+        prop_assert!(got >= exact, "quantile {q}: {got} undershoots exact {exact}");
+        prop_assert!(
+            got as f64 <= exact as f64 * (1.0 + snap.relative_error()),
+            "quantile {{{q}}}: {got} exceeds {exact} by more than 2^-{bits}"
+        );
+    }
+}
+
+/// The registry end of the same invariants: samples recorded through
+/// shared handles across threads are all counted.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let registry = Registry::new();
+    let hist = registry.histogram("t", "t", HistogramOpts::default());
+    let counter = registry.counter("t_ops_total", "t");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let hist = hist.clone();
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for v in 0..5_000u64 {
+                    hist.record(v);
+                    counter.inc();
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 20_000);
+    assert_eq!(counter.get(), 20_000);
+    assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 20_000);
+}

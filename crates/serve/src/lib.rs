@@ -30,11 +30,18 @@
 //!   instead, and per-request deadlines
 //!   ([`Server::submit_within`]) expire queued work rather than serving
 //!   it late.
-//! * **Telemetry** — [`Server::stats`] snapshots throughput, a
-//!   batch-size histogram, queue depth, p50/p95/p99 queue and compute
-//!   latency (with running totals for `_sum`-style exports), and a
-//!   per-stage [`PipelineProfile`](snappix::PipelineProfile) as
-//!   [`ServerStats`].
+//! * **Telemetry** — every counter and latency sample lands in a
+//!   [`snappix_metrics::Registry`] (attach a shared one via
+//!   [`ServerBuilder::with_metrics`]): request counters, mergeable
+//!   log-linear queue/compute latency histograms covering *every*
+//!   sample since start (no sliding window, bounded relative error,
+//!   trace-id exemplars), a batch-size histogram, and per-stage
+//!   summaries, all as `snappix_server_*` Prometheus families.
+//!   [`Server::stats`] derives [`ServerStats`] — throughput,
+//!   p50/p95/p99 latency, queue depth, a per-stage
+//!   [`PipelineProfile`](snappix::PipelineProfile) — from the same
+//!   cells, so the struct and the rendered `/metrics` page always
+//!   agree.
 //! * **Tracing** — attach a [`Tracer`](snappix_trace::Tracer) via
 //!   [`ServerBuilder::with_tracer`] and every request is stamped with a
 //!   trace id (on its [`Ticket`]), `queue_wait`/`batch`/`compute` spans
@@ -98,5 +105,6 @@ pub mod prelude {
         BatchPolicy, LatencySummary, ServeError, Server, ServerBuilder, ServerStats, Ticket,
     };
     pub use snappix::prelude::*;
+    pub use snappix_metrics::{HistogramOpts, Registry};
     pub use snappix_trace::Tracer;
 }

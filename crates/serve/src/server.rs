@@ -6,6 +6,7 @@ use crate::{BatchPolicy, ServeError, ServerStats, Ticket};
 use snappix::prelude::ActionModel;
 use snappix::{Error, Pipeline, PipelineBuilder};
 use snappix_ce::{AlgorithmicEncoder, Sense};
+use snappix_metrics::Registry;
 use snappix_tensor::{parallel, Tensor};
 use snappix_trace::{ArgValue, SpanCtx, Tracer};
 use std::sync::mpsc::channel;
@@ -27,6 +28,7 @@ pub struct ServerBuilder<S: Sense = AlgorithmicEncoder> {
     policy: BatchPolicy,
     worker_threads: Option<usize>,
     tracer: Tracer,
+    metrics: Registry,
 }
 
 impl<S: Sense> ServerBuilder<S> {
@@ -94,6 +96,25 @@ impl<S: Sense> ServerBuilder<S> {
         self
     }
 
+    /// Sets the metrics [`Registry`] the server records into: request
+    /// counters, queue/compute latency histograms (with trace-id
+    /// exemplars when a tracer is attached), the batch-size histogram,
+    /// and per-stage summaries, all under `snappix_server_*` family
+    /// names. [`Server::stats`] is derived from the same cells, so the
+    /// registry's rendered page and the stats struct always agree.
+    ///
+    /// Defaults to an enabled [`Registry::new`] private to this server.
+    /// Pass a shared registry to fold the server's families into a
+    /// larger page (the gateway does exactly that), or
+    /// [`Registry::disabled`] to drop all telemetry recording —
+    /// serving results are bit-for-bit identical either way, and
+    /// [`Server::stats`] then reads all-zero.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Registry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Pins the data-parallel worker count *inside* each replica,
     /// applied to every replica through the same
     /// [`PipelineBuilder::with_threads`] scoping the rest of the
@@ -144,7 +165,7 @@ impl<S: Sense> ServerBuilder<S> {
         let resident_weight_bytes = snappix::resident_weight_bytes(&replicas) as u64;
 
         let queue = Arc::new(SharedQueue::new(self.queue_depth));
-        let recorder = Arc::new(Recorder::new(resident_weight_bytes));
+        let recorder = Arc::new(Recorder::new(resident_weight_bytes, self.metrics.clone()));
         let mut handles = Vec::with_capacity(workers);
         for (i, replica) in replicas.into_iter().enumerate() {
             let worker_queue = Arc::clone(&queue);
@@ -247,6 +268,7 @@ impl Server {
             policy: BatchPolicy::default(),
             worker_threads: None,
             tracer: Tracer::disabled(),
+            metrics: Registry::new(),
         }
     }
 
@@ -255,6 +277,15 @@ impl Server {
     /// export traces: `server.tracer().snapshot().to_chrome_json()`.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The metrics registry the server records into (see
+    /// [`ServerBuilder::with_metrics`]). Render it for a Prometheus
+    /// page — `server.stats()` first to refresh the scrape-time gauges,
+    /// then `server.metrics().render()` — or clone it to register
+    /// further families alongside the server's.
+    pub fn metrics(&self) -> &Registry {
+        self.recorder.registry()
     }
 
     /// Number of worker threads (= pipeline replicas).
@@ -490,9 +521,11 @@ fn run_worker<S>(
                 span.finish();
             }
         }
-        let queue_latencies: Vec<Duration> = batch
+        // Each queue-latency sample carries its request's trace id so
+        // the registry histogram can attach it as an exemplar.
+        let queue_latencies: Vec<(Duration, u64)> = batch
             .iter()
-            .map(|r| claimed.duration_since(r.enqueued))
+            .map(|r| (claimed.duration_since(r.enqueued), r.trace.trace_id))
             .collect();
         let (expired, live): (Vec<Request>, Vec<Request>) =
             batch.into_iter().partition(|r| r.expired(claimed));
@@ -512,6 +545,9 @@ fn run_worker<S>(
         // nest under it with no plumbing.
         let mut batch_span = tracer.span("batch");
         batch_span.arg("clips", live.len());
+        // The compute histogram gets one sample per batch; its exemplar
+        // points at the first rider's trace.
+        let compute_trace = live.first().map_or(0, |r| r.trace.trace_id);
         let batch_ctx = batch_span.ctx();
         let compute_start_us = tracer.now_us();
         let started = Instant::now();
@@ -548,7 +584,12 @@ fn run_worker<S>(
                 for (request, prediction) in live.into_iter().zip(inference) {
                     request.answer(Ok(prediction));
                 }
-                recorder.record_batch(&queue_latencies, expired_count, executed, Some(compute));
+                recorder.record_batch(
+                    &queue_latencies,
+                    expired_count,
+                    executed,
+                    Some((compute, compute_trace)),
+                );
             }
             Ok(inference) => {
                 let message = format!(

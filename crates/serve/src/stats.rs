@@ -1,36 +1,43 @@
-//! Serving telemetry: counters, a batch-size histogram, and latency
-//! percentiles, snapshotted as [`ServerStats`].
+//! Serving telemetry: registry-backed counters, histograms, and latency
+//! quantiles, snapshotted as [`ServerStats`].
+//!
+//! Every number here lives in a [`snappix_metrics::Registry`]: the
+//! request counters are registry [`Counter`]s, queue and compute
+//! latency are log-linear [`Histogram`]s (every sample since process
+//! start is counted — no sliding window — with bounded relative error
+//! and trace-id exemplars), and scrape-time gauges are refreshed on
+//! each [`Recorder::snapshot`]. [`ServerStats`] is *derived from* the
+//! registry, so the struct the Rust API returns and the Prometheus page
+//! the registry renders can never disagree.
 
 use snappix::PipelineProfile;
-use std::collections::VecDeque;
+use snappix_metrics::{
+    Counter, Gauge, Histogram, HistogramOpts, HistogramSnapshot, Registry, Summary,
+};
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// How many of the most recent latency samples percentile summaries are
-/// computed over. Bounded so a long-lived server's telemetry memory is
-/// constant; the counters remain all-time.
-const LATENCY_WINDOW: usize = 4096;
-
 /// Order statistics over a latency stream.
 ///
-/// Percentiles are nearest-rank over the most recent 4096 samples (a
-/// sliding window, so they track the server's *current* behaviour);
-/// `samples` and `total` cover the whole stream, which is what lets
-/// the Prometheus exporter emit both `_count` and `_sum` lines.
+/// Derived from a log-linear histogram covering *every* sample since
+/// the server started: `samples` and `total` are exact, `max` is exact,
+/// and the percentiles are nearest-rank with relative error bounded by
+/// the histogram's bucket growth factor (2⁻⁶ ≈ 1.6% by default) — see
+/// [`HistogramSnapshot::quantile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// All-time number of samples recorded.
     pub samples: u64,
     /// All-time running total of the stream — the summary's `_sum`.
     pub total: Duration,
-    /// Median latency over the window.
+    /// Median latency.
     pub p50: Duration,
-    /// 95th-percentile latency over the window.
+    /// 95th-percentile latency.
     pub p95: Duration,
-    /// 99th-percentile latency over the window.
+    /// 99th-percentile latency.
     pub p99: Duration,
-    /// Maximum latency over the window.
+    /// Maximum latency (exact).
     pub max: Duration,
 }
 
@@ -38,9 +45,10 @@ impl LatencySummary {
     /// Nearest-rank percentiles over a finite sample set (`samples` is
     /// the set's length; empty input yields the all-zero default).
     ///
-    /// This is the one shared percentile implementation: the server's
-    /// sliding telemetry windows and the streaming layer's per-stream
-    /// reports both rank through it.
+    /// Exact ranking over materialized samples — used where the full
+    /// sample set is at hand (e.g. the streaming layer's per-stream
+    /// reports). The server derives its summaries from histograms via
+    /// [`from_histogram`](Self::from_histogram) instead.
     pub fn from_samples(samples: &[Duration]) -> Self {
         if samples.is_empty() {
             return LatencySummary::default();
@@ -61,10 +69,26 @@ impl LatencySummary {
         }
     }
 
+    /// Derives the summary from a nanosecond-valued histogram snapshot:
+    /// count, total, and max are exact; percentiles carry the
+    /// histogram's bounded relative error.
+    pub fn from_histogram(snap: &HistogramSnapshot) -> Self {
+        if snap.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            samples: snap.count,
+            total: Duration::from_nanos(snap.sum),
+            p50: Duration::from_nanos(snap.quantile(0.5)),
+            p95: Duration::from_nanos(snap.quantile(0.95)),
+            p99: Duration::from_nanos(snap.quantile(0.99)),
+            max: Duration::from_nanos(snap.max),
+        }
+    }
+
     /// The summary's percentiles as `(quantile, value)` pairs, in
     /// ascending quantile order — the exportable form consumed by
-    /// metrics encoders (e.g. the gateway's Prometheus `/metrics`
-    /// endpoint, where each pair becomes one `{quantile="..."}` sample).
+    /// metrics encoders.
     pub fn quantiles(&self) -> [(f64, Duration); 3] {
         [(0.5, self.p50), (0.95, self.p95), (0.99, self.p99)]
     }
@@ -76,6 +100,11 @@ impl LatencySummary {
 /// Request accounting is conserved: every admitted request ends up in
 /// exactly one of `completed`, `expired` or `failed`, and
 /// `submitted = completed + expired + failed + in-flight`.
+///
+/// With a [disabled](snappix_metrics::Registry::disabled) metrics
+/// registry every field is zero — like a disabled tracer, turning
+/// telemetry off turns the readouts off, while serving results stay
+/// bit-for-bit identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Requests admitted into the queue (all-time).
@@ -111,8 +140,8 @@ pub struct ServerStats {
     pub compute_latency: LatencySummary,
     /// Where batch compute time goes by pipeline stage
     /// (`sense`/`forward`/`readout`), aggregated across every worker
-    /// replica. Always populated — stage timing does not require a
-    /// tracer.
+    /// replica. Populated whenever metrics are enabled — stage timing
+    /// does not require a tracer.
     pub profile: PipelineProfile,
 }
 
@@ -256,76 +285,149 @@ impl fmt::Display for ServerStats {
     }
 }
 
-/// A bounded sliding window of latency samples.
-#[derive(Debug, Clone, Default)]
-struct Window {
-    recent: VecDeque<Duration>,
-    seen: u64,
-    total: Duration,
-}
-
-impl Window {
-    fn record(&mut self, sample: Duration) {
-        if self.recent.len() == LATENCY_WINDOW {
-            self.recent.pop_front();
-        }
-        self.recent.push_back(sample);
-        self.seen += 1;
-        self.total += sample;
-    }
-
-    fn summarize(&self) -> LatencySummary {
-        let recent: Vec<Duration> = self.recent.iter().copied().collect();
-        LatencySummary {
-            // The window ranks over its recent samples but reports the
-            // all-time stream count and running total.
-            samples: self.seen,
-            total: self.total,
-            ..LatencySummary::from_samples(&recent)
-        }
-    }
-}
-
+/// Exact side data the registry's fixed-shape metrics cannot carry: the
+/// per-size batch histogram (the conserved-accounting witness) and the
+/// per-stage profile with its `max` fields.
 #[derive(Debug, Default)]
-struct Counters {
-    submitted: u64,
-    completed: u64,
-    rejected: u64,
-    expired: u64,
-    failed: u64,
-    batches: u64,
+struct Aux {
     batch_sizes: Vec<u64>,
-    queue_latency: Window,
-    compute_latency: Window,
     profile: PipelineProfile,
 }
 
-/// The shared, internally-locked recorder workers and the submission
-/// path write into. Snapshotting never blocks the hot path for long:
-/// every write is a counter bump or a ring-buffer push.
+/// The shared recorder workers and the submission path write into. All
+/// counters and latency samples land in [`Registry`] cells — atomics on
+/// the hot path — so the same numbers surface as [`ServerStats`] *and*
+/// on any `/metrics` page rendered from the registry.
 #[derive(Debug)]
 pub(crate) struct Recorder {
     started: Instant,
     /// Fixed at build time: weights never change while serving.
     resident_weight_bytes: u64,
-    counters: Mutex<Counters>,
+    registry: Registry,
+    submitted: Counter,
+    completed: Counter,
+    rejected: Counter,
+    expired: Counter,
+    failed: Counter,
+    batches: Counter,
+    batch_size: Histogram,
+    queue_latency: Histogram,
+    compute_latency: Histogram,
+    stages: [(Summary, &'static str); 3],
+    in_flight: Gauge,
+    queue_depth: Gauge,
+    uptime: Gauge,
+    aux: Mutex<Aux>,
 }
 
 impl Recorder {
-    pub fn new(resident_weight_bytes: u64) -> Self {
+    /// Registers the `snappix_server_*` families on `registry` (no-ops
+    /// when it is disabled) and wires the recorder to their handles.
+    pub fn new(resident_weight_bytes: u64, registry: Registry) -> Self {
+        let counter = |name, help| registry.counter(name, help);
+        let submitted = counter(
+            "snappix_server_requests_submitted_total",
+            "Requests admitted into the serving queue.",
+        );
+        let completed = counter(
+            "snappix_server_requests_completed_total",
+            "Admitted requests answered with a prediction.",
+        );
+        let rejected = counter(
+            "snappix_server_requests_rejected_total",
+            "Submissions shed with Overloaded (never admitted).",
+        );
+        let expired = counter(
+            "snappix_server_requests_expired_total",
+            "Admitted requests expired at their deadline instead of being run.",
+        );
+        let failed = counter(
+            "snappix_server_requests_failed_total",
+            "Admitted requests that rode in a batch whose inference failed.",
+        );
+        let batches = counter(
+            "snappix_server_batches_total",
+            "Batched forward passes executed.",
+        );
+        // 7 sub-bucket bits: every batch size below 128 gets its own
+        // singleton bucket, so `le` values are exact sizes.
+        let batch_size = registry.histogram(
+            "snappix_server_batch_size",
+            "Executed batch sizes (clips per forward pass).",
+            HistogramOpts::default().with_sub_bucket_bits(7),
+        );
+        let queue_latency = registry.histogram(
+            "snappix_server_queue_latency_seconds",
+            "Time requests spent queued before their batch was claimed.",
+            HistogramOpts::nanos().with_exemplars(),
+        );
+        let compute_latency = registry.histogram(
+            "snappix_server_compute_latency_seconds",
+            "Time batches spent in the pipeline forward pass.",
+            HistogramOpts::nanos().with_exemplars(),
+        );
+        let stages = ["sense", "forward", "readout"].map(|stage| {
+            (
+                registry.summary_with(
+                    "snappix_server_stage_latency_seconds",
+                    "Forward-pass wall time by pipeline stage, aggregated across worker replicas.",
+                    1e-9,
+                    &[("stage", stage)],
+                ),
+                stage,
+            )
+        });
+        let in_flight = registry.gauge(
+            "snappix_server_requests_in_flight",
+            "Admitted requests not yet resolved (queued or mid-batch).",
+        );
+        let queue_depth = registry.gauge(
+            "snappix_server_queue_depth",
+            "Requests sitting in the admission queue right now.",
+        );
+        let uptime = registry.gauge(
+            "snappix_server_uptime_seconds",
+            "Seconds since the server started.",
+        );
+        registry
+            .gauge(
+                "snappix_server_resident_weight_bytes",
+                "Bytes of model weights resident across all worker replicas \
+                 (shared storage counted once).",
+            )
+            .set(resident_weight_bytes as f64);
         Recorder {
             started: Instant::now(),
             resident_weight_bytes,
-            counters: Mutex::new(Counters::default()),
+            registry,
+            submitted,
+            completed,
+            rejected,
+            expired,
+            failed,
+            batches,
+            batch_size,
+            queue_latency,
+            compute_latency,
+            stages,
+            in_flight,
+            queue_depth,
+            uptime,
+            aux: Mutex::new(Aux::default()),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
-        self.counters.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The registry the recorder's families live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Aux> {
+        self.aux.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn record_admitted(&self) {
-        self.lock().submitted += 1;
+        self.submitted.inc();
     }
 
     /// Undoes a [`record_admitted`](Self::record_admitted) whose push
@@ -333,12 +435,11 @@ impl Recorder {
     /// is published to the queue (so a racing worker can never complete
     /// an uncounted request); a failed push compensates here.
     pub fn record_unadmitted(&self) {
-        let mut c = self.lock();
-        c.submitted = c.submitted.saturating_sub(1);
+        self.submitted.deduct(1);
     }
 
     pub fn record_rejected(&self) {
-        self.lock().rejected += 1;
+        self.rejected.inc();
     }
 
     /// Folds one replica's per-stage profile delta (from
@@ -346,69 +447,82 @@ impl Recorder {
     /// into the server-wide aggregate. Workers call this after every
     /// batch.
     pub fn record_profile(&self, delta: &PipelineProfile) {
-        if !delta.is_empty() {
-            self.lock().profile.merge(delta);
+        if delta.is_empty() || !self.registry.is_enabled() {
+            return;
         }
+        for (summary, stage) in &self.stages {
+            let s = match *stage {
+                "sense" => delta.sense,
+                "forward" => delta.forward,
+                _ => delta.readout,
+            };
+            summary.observe_many(s.calls, s.total.as_nanos() as u64);
+        }
+        self.lock().profile.merge(delta);
     }
 
-    /// Records one claimed batch: per-request queue latencies, the
-    /// expiry count, and (when any requests remain) the executed batch
-    /// size with its compute time.
+    /// Records one claimed batch: per-request queue latencies (each
+    /// carrying its request's trace id for exemplars), the expiry
+    /// count, and (when any requests remain) the executed batch size
+    /// with its compute time and a representative trace id.
     pub fn record_batch(
         &self,
-        queue_latencies: &[Duration],
+        queue_latencies: &[(Duration, u64)],
         expired: u64,
         executed: usize,
-        compute: Option<Duration>,
+        compute: Option<(Duration, u64)>,
     ) {
-        let mut c = self.lock();
-        for &l in queue_latencies {
-            c.queue_latency.record(l);
+        for &(latency, trace_id) in queue_latencies {
+            self.queue_latency
+                .record_with_trace(latency.as_nanos() as u64, trace_id);
         }
-        c.expired += expired;
+        self.expired.add(expired);
         if executed > 0 {
-            c.batches += 1;
-            if c.batch_sizes.len() <= executed {
-                c.batch_sizes.resize(executed + 1, 0);
+            self.batches.inc();
+            self.batch_size.record(executed as u64);
+            if self.registry.is_enabled() {
+                let mut aux = self.lock();
+                if aux.batch_sizes.len() <= executed {
+                    aux.batch_sizes.resize(executed + 1, 0);
+                }
+                aux.batch_sizes[executed] += 1;
             }
-            c.batch_sizes[executed] += 1;
-            if let Some(compute) = compute {
-                c.compute_latency.record(compute);
-                c.completed += executed as u64;
+            if let Some((compute, trace_id)) = compute {
+                self.compute_latency
+                    .record_with_trace(compute.as_nanos() as u64, trace_id);
+                self.completed.add(executed as u64);
             } else {
-                c.failed += executed as u64;
+                self.failed.add(executed as u64);
             }
         }
     }
 
     pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
-        // Copy everything out under the lock, then do the O(n log n)
-        // percentile sorts *after* releasing it — a telemetry poller
-        // must not stall submissions and workers for the sort.
-        let (mut stats, queue_window, compute_window) = {
-            let c = self.lock();
-            (
-                ServerStats {
-                    submitted: c.submitted,
-                    completed: c.completed,
-                    rejected: c.rejected,
-                    expired: c.expired,
-                    failed: c.failed,
-                    batches: c.batches,
-                    batch_sizes: c.batch_sizes.clone(),
-                    queue_depth,
-                    resident_weight_bytes: self.resident_weight_bytes,
-                    uptime: self.started.elapsed(),
-                    queue_latency: LatencySummary::default(),
-                    compute_latency: LatencySummary::default(),
-                    profile: c.profile,
-                },
-                c.queue_latency.clone(),
-                c.compute_latency.clone(),
-            )
+        let (batch_sizes, profile) = {
+            let aux = self.lock();
+            (aux.batch_sizes.clone(), aux.profile)
         };
-        stats.queue_latency = queue_window.summarize();
-        stats.compute_latency = compute_window.summarize();
+        let stats = ServerStats {
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected: self.rejected.get(),
+            expired: self.expired.get(),
+            failed: self.failed.get(),
+            batches: self.batches.get(),
+            batch_sizes,
+            queue_depth,
+            resident_weight_bytes: self.resident_weight_bytes,
+            uptime: self.started.elapsed(),
+            queue_latency: LatencySummary::from_histogram(&self.queue_latency.snapshot()),
+            compute_latency: LatencySummary::from_histogram(&self.compute_latency.snapshot()),
+            profile,
+        };
+        // Refresh the scrape-time gauges: a registry render right after
+        // a snapshot (the gateway's `/metrics` path) sees current
+        // values.
+        self.in_flight.set(stats.in_flight() as f64);
+        self.queue_depth.set(queue_depth as f64);
+        self.uptime.set(stats.uptime.as_secs_f64());
         stats
     }
 }
@@ -417,9 +531,13 @@ impl Recorder {
 mod tests {
     use super::*;
 
+    fn recorder() -> Recorder {
+        Recorder::new(1024, Registry::new())
+    }
+
     #[test]
     fn accounting_is_conserved_across_outcomes() {
-        let r = Recorder::new(1024);
+        let r = recorder();
         for _ in 0..10 {
             r.record_admitted();
         }
@@ -429,15 +547,15 @@ mod tests {
         r.record_rejected();
         // Batch of 4: one expired, three ran fine.
         r.record_batch(
-            &[Duration::from_millis(1); 4],
+            &[(Duration::from_millis(1), 7); 4],
             1,
             3,
-            Some(Duration::from_millis(7)),
+            Some((Duration::from_millis(7), 7)),
         );
         // Batch of 2 that failed inference.
-        r.record_batch(&[Duration::from_millis(2); 2], 0, 2, None);
+        r.record_batch(&[(Duration::from_millis(2), 0); 2], 0, 2, None);
         // Batch that expired entirely: nothing executed.
-        r.record_batch(&[Duration::from_millis(3)], 1, 0, None);
+        r.record_batch(&[(Duration::from_millis(3), 0)], 1, 0, None);
         let s = r.snapshot(4);
         assert_eq!(s.submitted, 10);
         assert_eq!(s.rejected, 1);
@@ -464,11 +582,27 @@ mod tests {
         assert!(text.contains("batches: 2"));
         assert!(text.contains("resident weights 1024 B"));
         assert!(text.contains("p99"));
+        // The registry agrees with the struct, line for line.
+        let page = r.registry().render();
+        for needle in [
+            "snappix_server_requests_submitted_total 10\n",
+            "snappix_server_requests_completed_total 3\n",
+            "snappix_server_requests_in_flight 3\n",
+            "snappix_server_queue_depth 4\n",
+            "snappix_server_resident_weight_bytes 1024\n",
+            "snappix_server_batches_total 2\n",
+            "snappix_server_batch_size_sum 5\n",
+            "snappix_server_batch_size_count 2\n",
+            "snappix_server_queue_latency_seconds_count 7\n",
+            "snappix_server_compute_latency_seconds_count 1\n",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
     }
 
     #[test]
     fn stage_profiles_merge_across_replicas() {
-        let r = Recorder::new(0);
+        let r = recorder();
         let mut a = PipelineProfile::default();
         a.sense.calls = 2;
         a.sense.total = Duration::from_millis(4);
@@ -494,19 +628,33 @@ mod tests {
         assert_eq!(s.profile.forward.calls, 1);
         assert_eq!((s.profile.batches, s.profile.clips), (3, 8));
         assert!(s.to_string().contains("stages:"));
+        // The stage summaries mirror the profile on the rendered page.
+        let page = r.registry().render();
+        assert!(
+            page.contains("snappix_server_stage_latency_seconds_sum{stage=\"sense\"} 0.014\n"),
+            "{page}"
+        );
+        assert!(
+            page.contains("snappix_server_stage_latency_seconds_count{stage=\"sense\"} 3\n"),
+            "{page}"
+        );
+        assert!(
+            page.contains("snappix_server_stage_latency_seconds_count{stage=\"forward\"} 1\n"),
+            "{page}"
+        );
     }
 
     #[test]
     fn conservation_helpers_detect_drift() {
-        let r = Recorder::new(0);
+        let r = recorder();
         for _ in 0..6 {
             r.record_admitted();
         }
         r.record_batch(
-            &[Duration::from_millis(1); 4],
+            &[(Duration::from_millis(1), 0); 4],
             1,
             3,
-            Some(Duration::from_millis(2)),
+            Some((Duration::from_millis(2), 0)),
         );
         let healthy = r.snapshot(2);
         assert_eq!(healthy.clips_batched(), 3);
@@ -534,7 +682,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "accounting drift")]
     fn debug_assert_conserved_panics_on_drift_in_debug_builds() {
-        let mut s = Recorder::new(0).snapshot(0);
+        let mut s = recorder().snapshot(0);
         s.completed = 1; // never admitted
         if cfg!(debug_assertions) {
             s.debug_assert_conserved();
@@ -576,34 +724,57 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_nearest_rank_over_the_window() {
-        let mut w = Window::default();
-        for ms in 1..=100u64 {
-            w.record(Duration::from_millis(ms));
+    fn no_samples_are_lost_under_sustained_load() {
+        // 5000 samples — beyond the 4096-sample sliding window the
+        // pre-registry recorder ranked over. Every one lands in the
+        // histogram: `_count` on the rendered page equals submissions
+        // exactly, and the totals stay exact.
+        let r = recorder();
+        const BATCH: usize = 50;
+        const BATCHES: usize = 100;
+        let mut expected_total = Duration::ZERO;
+        for batch in 0..BATCHES {
+            for _ in 0..BATCH {
+                r.record_admitted();
+            }
+            let latencies: Vec<(Duration, u64)> = (0..BATCH)
+                .map(|i| (Duration::from_micros((batch * BATCH + i) as u64 + 1), 0))
+                .collect();
+            expected_total += latencies.iter().map(|&(d, _)| d).sum::<Duration>();
+            r.record_batch(&latencies, 0, BATCH, Some((Duration::from_millis(1), 0)));
         }
-        let s = w.summarize();
-        assert_eq!(s.samples, 100);
-        assert_eq!(s.p50, Duration::from_millis(50));
-        assert_eq!(s.p95, Duration::from_millis(95));
-        assert_eq!(s.p99, Duration::from_millis(99));
-        assert_eq!(s.max, Duration::from_millis(100));
-
-        // The window slides: after LATENCY_WINDOW more samples at a new
-        // level, the old ones no longer influence the percentiles.
-        for _ in 0..LATENCY_WINDOW {
-            w.record(Duration::from_millis(7));
-        }
-        let slid = w.summarize();
-        assert_eq!(slid.p99, Duration::from_millis(7));
-        assert_eq!(slid.samples, 100 + LATENCY_WINDOW as u64);
-        // The running total keeps counting even as old samples slide
-        // out of the percentile window.
-        assert_eq!(
-            slid.total,
-            Duration::from_millis(5050 + 7 * LATENCY_WINDOW as u64)
+        let s = r.snapshot(0);
+        assert_eq!(s.submitted, (BATCH * BATCHES) as u64);
+        assert_eq!(s.queue_latency.samples, 5000, "all 5000 samples counted");
+        assert_eq!(s.queue_latency.total, expected_total, "sum stays exact");
+        assert_eq!(s.queue_latency.max, Duration::from_micros(5000));
+        // p99 of 1..=5000 µs is 4950 µs; the histogram's answer is
+        // within its configured relative error (2^-6).
+        let p99 = s.queue_latency.p99.as_micros() as f64;
+        assert!((p99 - 4950.0).abs() / 4950.0 <= 1.0 / 64.0, "p99 {p99}");
+        let page = r.registry().render();
+        assert!(
+            page.contains("snappix_server_queue_latency_seconds_count 5000\n"),
+            "{page}"
         );
+        s.debug_assert_conserved();
+    }
 
-        let empty = Window::default().summarize();
-        assert_eq!(empty, LatencySummary::default());
+    #[test]
+    fn disabled_registry_records_nothing_and_stays_conserved() {
+        let r = Recorder::new(512, Registry::disabled());
+        r.record_admitted();
+        r.record_batch(
+            &[(Duration::from_millis(1), 0)],
+            0,
+            1,
+            Some((Duration::from_millis(1), 0)),
+        );
+        let s = r.snapshot(0);
+        assert_eq!(s.submitted, 0, "disabled registry counts nothing");
+        assert_eq!(s.batch_sizes, Vec::<u64>::new());
+        assert_eq!(s.queue_latency, LatencySummary::default());
+        s.debug_assert_conserved();
+        assert_eq!(r.registry().render(), "");
     }
 }

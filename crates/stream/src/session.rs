@@ -15,6 +15,7 @@ use crate::smooth::Smoother;
 use crate::stats::summarize;
 use crate::{Event, EventDetector, Smoothing, StreamError, StreamStats, WindowAssembler};
 use snappix::Prediction;
+use snappix_metrics::{Counter, Histogram, HistogramOpts, Registry};
 use snappix_serve::{ServeError, Server, Ticket};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -166,6 +167,60 @@ pub struct StreamReport {
     pub events: Vec<Event>,
 }
 
+/// Handles into the server's [`Registry`] for the `snappix_stream_*`
+/// families. Every session streaming into the same server re-registers
+/// the same (name, label-set) families — registration is idempotent —
+/// so the scraped counters aggregate across streams, exactly like
+/// [`StreamRunner::stats`](crate::StreamRunner::stats) sums per-stream
+/// reports. A server built with `Registry::disabled()` hands out no-op
+/// handles and every record below vanishes.
+struct Telemetry {
+    frames: Counter,
+    windows: Counter,
+    inferred: Counter,
+    shed: Counter,
+    expired: Counter,
+    events: Counter,
+    latency: Histogram,
+}
+
+impl Telemetry {
+    fn new(registry: &Registry) -> Self {
+        Telemetry {
+            frames: registry.counter(
+                "snappix_stream_frames_total",
+                "Frames ingested across all stream sessions.",
+            ),
+            windows: registry.counter(
+                "snappix_stream_windows_total",
+                "Clip windows assembled from ingested frames.",
+            ),
+            inferred: registry.counter(
+                "snappix_stream_inferred_total",
+                "Windows that came back with a prediction.",
+            ),
+            shed: registry.counter(
+                "snappix_stream_shed_total",
+                "Windows dropped by the overload policy.",
+            ),
+            expired: registry.counter(
+                "snappix_stream_expired_total",
+                "Windows whose deadline expired in the serving queue.",
+            ),
+            events: registry.counter(
+                "snappix_stream_events_total",
+                "Confirmed label-change events emitted.",
+            ),
+            latency: registry.histogram(
+                "snappix_stream_window_latency_seconds",
+                "End-to-end window latency: last frame of the window arriving \
+                 to its prediction being picked up.",
+                HistogramOpts::nanos(),
+            ),
+        }
+    }
+}
+
 struct PendingWindow {
     index: usize,
     window: snappix_tensor::Tensor,
@@ -220,6 +275,7 @@ pub struct StreamSession<'a> {
     results: Vec<WindowResult>,
     dropped: Vec<(usize, DropReason)>,
     events: Vec<Event>,
+    telemetry: Telemetry,
 }
 
 impl<'a> StreamSession<'a> {
@@ -256,6 +312,7 @@ impl<'a> StreamSession<'a> {
             results: Vec::new(),
             dropped: Vec::new(),
             events: Vec::new(),
+            telemetry: Telemetry::new(server.metrics()),
         })
     }
 
@@ -314,7 +371,10 @@ impl<'a> StreamSession<'a> {
     /// overload policy does not cover (shutdown, batch inference
     /// failure, worker death).
     pub fn push(&mut self, frame: &snappix_tensor::Tensor) -> Result<(), StreamError> {
-        if let Some(window) = self.assembler.push(frame)? {
+        let assembled = self.assembler.push(frame)?;
+        self.telemetry.frames.inc();
+        if let Some(window) = assembled {
+            self.telemetry.windows.inc();
             let index = self.assembler.windows_out() - 1;
             self.admit(PendingWindow {
                 index,
@@ -338,7 +398,7 @@ impl<'a> StreamSession<'a> {
     pub fn finish(mut self) -> Result<StreamReport, StreamError> {
         self.drain_pending()?;
         while let Some(p) = self.pending.pop_front() {
-            self.dropped.push((p.index, DropReason::Shed));
+            self.drop_window(p.index, DropReason::Shed);
         }
         while let Some(f) = self.in_flight.pop_front() {
             let InFlightWindow {
@@ -349,7 +409,7 @@ impl<'a> StreamSession<'a> {
             match ticket.wait() {
                 Ok(prediction) => self.complete(index, completed_at, prediction),
                 Err(ServeError::DeadlineExpired { .. }) => {
-                    self.dropped.push((index, DropReason::Expired));
+                    self.drop_window(index, DropReason::Expired);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -367,6 +427,15 @@ impl<'a> StreamSession<'a> {
             dropped: self.dropped,
             events: self.events,
         })
+    }
+
+    /// Logs one dropped window in the report *and* the registry.
+    fn drop_window(&mut self, index: usize, reason: DropReason) {
+        match reason {
+            DropReason::Shed => self.telemetry.shed.inc(),
+            DropReason::Expired => self.telemetry.expired.inc(),
+        }
+        self.dropped.push((index, reason));
     }
 
     /// Routes one completed window through the overload policy.
@@ -400,7 +469,7 @@ impl<'a> StreamSession<'a> {
                         Ok(())
                     }
                     Err(ServeError::Overloaded { .. }) => {
-                        self.dropped.push((pending.index, DropReason::Shed));
+                        self.drop_window(pending.index, DropReason::Shed);
                         Ok(())
                     }
                     Err(e) => Err(e.into()),
@@ -411,7 +480,7 @@ impl<'a> StreamSession<'a> {
                 self.drain_pending()?;
                 while self.pending.len() > cap.max(1) {
                     let victim = self.pending.pop_front().expect("len checked");
-                    self.dropped.push((victim.index, DropReason::Shed));
+                    self.drop_window(victim.index, DropReason::Shed);
                 }
                 Ok(())
             }
@@ -454,7 +523,7 @@ impl<'a> StreamSession<'a> {
                 }
                 Err(ServeError::DeadlineExpired { .. }) => {
                     let f = self.in_flight.pop_front().expect("front checked");
-                    self.dropped.push((f.index, DropReason::Expired));
+                    self.drop_window(f.index, DropReason::Expired);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -466,10 +535,13 @@ impl<'a> StreamSession<'a> {
     /// results log.
     fn complete(&mut self, index: usize, completed_at: Instant, prediction: Prediction) {
         let latency = completed_at.elapsed();
+        self.telemetry.inferred.inc();
+        self.telemetry.latency.record(latency.as_nanos() as u64);
         let smoothed = self.smoother.observe(&prediction);
         let at_frame = index * self.hop + self.window_len - 1;
         if let Some(event) = self.detector.observe(self.id, index, at_frame, smoothed) {
             self.events.push(event);
+            self.telemetry.events.inc();
         }
         self.results.push(WindowResult {
             index,

@@ -1,0 +1,158 @@
+//! Metrics walkthrough: serve a burst of classify requests through the
+//! gateway, then scrape `GET /metrics` in both exposition formats —
+//! the classic Prometheus text a plain `curl` gets, and the
+//! OpenMetrics rendering (trace exemplars on latency buckets, `# EOF`
+//! trailer) a scraper selects with its `Accept` header. Finishes with
+//! the property the page is built on: log-linear histogram snapshots
+//! merge exactly, so per-replica latency distributions fold into a
+//! fleet-wide one without losing a single sample.
+//!
+//! Run with `cargo run --release --example metrics`. See
+//! `docs/METRICS.md` for the full family reference and
+//! `docs/OBSERVABILITY.md` for how metrics and traces fit together.
+
+use rand::{rngs::StdRng, SeedableRng};
+use snappix_gateway::prelude::*;
+use snappix_metrics::HistogramOpts as StandaloneOpts;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const T: usize = 8;
+const HW: usize = 16;
+const CLASSES: usize = 5;
+const CLIENTS: usize = 8;
+const CLIPS_PER_CLIENT: usize = 4;
+
+/// One request/response round trip on a keep-alive connection.
+fn roundtrip(reader: &mut BufReader<TcpStream>, head: &str, body: &[u8]) -> String {
+    let stream = reader.get_mut();
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(status_line.contains("200"), "unexpected: {status_line}");
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            length = v.trim().parse().expect("numeric content-length");
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    String::from_utf8(body).expect("utf-8 body")
+}
+
+fn scrape(addr: std::net::SocketAddr, accept: Option<&str>) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let head = match accept {
+        Some(a) => format!("GET /metrics HTTP/1.1\r\naccept: {a}\r\n\r\n"),
+        None => "GET /metrics HTTP/1.1\r\n\r\n".to_string(),
+    };
+    roundtrip(&mut reader, &head, &[])
+}
+
+fn main() -> Result<(), snappix::Error> {
+    let mask = patterns::long_exposure(T, (8, 8))?;
+    let model = SnapPixAr::new(VitConfig::snappix_s(HW, HW, CLASSES), mask)?;
+    let server = Server::builder(Pipeline::builder(model))
+        .with_workers(2)
+        .with_queue_depth(CLIENTS * CLIPS_PER_CLIENT)
+        .with_batch_policy(BatchPolicy::new(8, Duration::from_millis(2)))
+        .with_tracer(Tracer::new()) // trace ids feed the exemplars
+        .build()?;
+    let gateway = Gateway::builder(server)
+        .with_max_connections(CLIENTS + 8)
+        .bind()
+        .map_err(snappix::Error::from)?;
+    let addr = gateway.local_addr();
+
+    // A concurrent burst, each request stamped with a caller-chosen
+    // trace id (the gateway would mint one otherwise).
+    let mut rng = StdRng::seed_from_u64(23);
+    let clips: Vec<Vec<u8>> = (0..CLIENTS * CLIPS_PER_CLIENT)
+        .map(|_| {
+            Tensor::rand_uniform(&mut rng, &[T, HW, HW], 0.0, 1.0)
+                .as_slice()
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let clips = &clips;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream);
+                for i in 0..CLIPS_PER_CLIENT {
+                    let n = client * CLIPS_PER_CLIENT + i;
+                    let body = &clips[n];
+                    let head = format!(
+                        "POST /v1/classify HTTP/1.1\r\nx-snappix-trace: {}\r\n\
+                         content-length: {}\r\n\r\n",
+                        n + 1,
+                        body.len()
+                    );
+                    roundtrip(&mut reader, &head, body);
+                }
+            });
+        }
+    });
+
+    // Classic text format: what `curl .../metrics` gets.
+    let classic = scrape(addr, None);
+    println!("--- classic scrape (excerpt) ---");
+    for line in classic.lines().filter(|l| {
+        l.starts_with("snappix_server_requests_")
+            || l.starts_with("snappix_server_queue_latency_seconds_count")
+            || l.starts_with("snappix_build_info")
+    }) {
+        println!("{line}");
+    }
+
+    // OpenMetrics: same cells, plus exemplars linking latency buckets
+    // to the traces that landed in them, and the # EOF trailer.
+    let open = scrape(addr, Some("application/openmetrics-text"));
+    println!("\n--- OpenMetrics latency buckets with exemplars ---");
+    for line in open.lines().filter(|l| l.contains("# {trace_id=")).take(6) {
+        println!("{line}");
+    }
+    assert!(open.ends_with("# EOF\n"));
+
+    // The headline histogram property: snapshots merge exactly. Two
+    // "replicas" record disjoint latency samples; merging their
+    // snapshots is indistinguishable from one replica seeing all of it.
+    let a = snappix_metrics::Histogram::standalone(StandaloneOpts::nanos());
+    let b = snappix_metrics::Histogram::standalone(StandaloneOpts::nanos());
+    for us in 1..=400u64 {
+        if us % 2 == 0 {
+            a.record(us * 1_000);
+        } else {
+            b.record(us * 1_000);
+        }
+    }
+    let merged = a.snapshot().merge(&b.snapshot());
+    assert_eq!(merged.count, 400, "merge loses no samples");
+    println!(
+        "\nmerged replicas: {} samples, p50 ≈ {:.0} µs, p99 ≈ {:.0} µs (≤1.6% off exact)",
+        merged.count,
+        merged.quantile(0.5) as f64 / 1_000.0,
+        merged.quantile(0.99) as f64 / 1_000.0,
+    );
+
+    let (gateway_stats, server_stats) = gateway.shutdown();
+    println!(
+        "\nserved {} requests, server completed {}",
+        gateway_stats.requests_total(),
+        server_stats.completed
+    );
+    Ok(())
+}

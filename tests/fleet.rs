@@ -173,6 +173,36 @@ fn ledgers_are_conserved_fleet_wide() {
     assert!((report.stats.spent_pj - spent).abs() <= 1e-9 * spent.max(1.0));
     assert_eq!(report.stats.nodes, 6);
     assert!(report.stats.energy_per_inference_pj() > 0.0);
+
+    // Exporting the run reproduces the ledger as snappix_fleet_*
+    // families: the per-node `node`-labeled counters sum back to the
+    // aggregate, so the scraped view conserves exactly like the report.
+    let registry = Registry::new();
+    report.export_metrics(&registry);
+    let page = registry.render();
+    let sum = |name: &str| -> u64 {
+        page.lines()
+            .filter(|l| l.starts_with(&format!("{name}{{")))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .expect("split never empty")
+                    .parse::<u64>()
+                    .expect("counter value")
+            })
+            .sum()
+    };
+    assert_eq!(sum("snappix_fleet_windows_total"), report.stats.windows);
+    assert_eq!(
+        sum("snappix_fleet_inferred_total")
+            + sum("snappix_fleet_shed_total")
+            + sum("snappix_fleet_expired_total")
+            + sum("snappix_fleet_slept_total"),
+        report.stats.windows,
+        "the exported window ledger is conserved"
+    );
+    assert_eq!(sum("snappix_fleet_events_total"), report.stats.events);
+    assert!(page.contains("snappix_fleet_nodes 6\n"), "{page}");
 }
 
 #[test]

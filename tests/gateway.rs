@@ -264,7 +264,17 @@ fn parse_prometheus(page: &str) -> Scrape {
 fn scrape(addr: SocketAddr) -> Scrape {
     let reply = Client::connect(addr).send("GET", "/metrics", &[], &[]);
     assert_eq!(reply.status, 200);
-    parse_prometheus(&reply.text())
+    assert_eq!(
+        reply.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8"),
+        "classic text format is the default"
+    );
+    let page = reply.text();
+    assert!(
+        !page.contains("# {"),
+        "exemplars must not leak into the classic text format"
+    );
+    parse_prometheus(&page)
 }
 
 /// Compile-time pin: the gateway's object graph crosses threads.
@@ -347,9 +357,22 @@ fn concurrent_tcp_clients_match_serial_inference_and_metrics_are_conserved() {
         }
     }
 
-    // The metrics page, scraped over the same wire.
-    let page = scrape(addr);
+    // The metrics page, scraped over the same wire. The gateway records
+    // a request *after* flushing its response, so a scrape racing the
+    // last connection's bookkeeping can see the gateway counters lag
+    // responses already read. Counters are monotone — wait for the
+    // ledger to settle before asserting on the page.
     let served_total = (CLIENTS * PER_CLIENT) as f64;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let page = loop {
+        let page = scrape(addr);
+        if page.sum_over_labels("snappix_gateway_requests_total") >= served_total
+            || Instant::now() >= deadline
+        {
+            break page;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
     assert_eq!(
         page.value("snappix_server_requests_submitted_total"),
         served_total
@@ -389,18 +412,30 @@ fn concurrent_tcp_clients_match_serial_inference_and_metrics_are_conserved() {
 
 /// The reference table in docs/METRICS.md and a live scrape must agree
 /// exactly, in both directions: a metric added without documentation,
-/// or documented without being exported, fails here.
+/// or documented without being exported, fails here. Rows below the
+/// "Off-gateway families" heading document layers the gateway does not
+/// host (stream sessions, fleet exports) — they are allowed to be
+/// absent from a plain gateway scrape, but still cover any family that
+/// does appear.
 #[test]
 fn metrics_reference_table_matches_a_live_scrape() {
     let table = include_str!("../docs/METRICS.md");
-    let documented: Vec<&str> = table
-        .lines()
-        .filter_map(|line| line.strip_prefix("| `snappix_"))
-        .map(|rest| rest.split('`').next().expect("closing backtick"))
-        .collect();
+    let rows = |text: &'static str| -> Vec<&'static str> {
+        text.lines()
+            .filter_map(|line| line.strip_prefix("| `snappix_"))
+            .map(|rest| rest.split('`').next().expect("closing backtick"))
+            .collect()
+    };
+    let documented = rows(table);
+    let required = rows(
+        table
+            .split("## Off-gateway families")
+            .next()
+            .expect("split never empty"),
+    );
     assert!(
-        !documented.is_empty(),
-        "no metric rows found in docs/METRICS.md"
+        !required.is_empty() && documented.len() > required.len(),
+        "docs/METRICS.md must document gateway rows and off-gateway rows"
     );
 
     let server = Server::builder(Pipeline::builder(model()))
@@ -418,7 +453,7 @@ fn metrics_reference_table_matches_a_live_scrape() {
     assert_eq!(client.send("GET", "/stats", &[], &[]).status, 200);
     let page = scrape(gateway.local_addr());
 
-    for name in &documented {
+    for name in &required {
         let full = format!("snappix_{name}");
         assert!(
             page.families.contains_key(&full),
@@ -432,6 +467,155 @@ fn metrics_reference_table_matches_a_live_scrape() {
             "/metrics exports {family} but docs/METRICS.md does not document it"
         );
     }
+    // The latency families are real histograms now — buckets a scraper
+    // can aggregate across replicas — not summaries.
+    for family in [
+        "snappix_server_queue_latency_seconds",
+        "snappix_server_compute_latency_seconds",
+        "snappix_gateway_request_latency_seconds",
+        "snappix_server_batch_size",
+    ] {
+        assert_eq!(
+            page.families.get(family).map(String::as_str),
+            Some("histogram"),
+            "{family} must be exported as a histogram"
+        );
+    }
+}
+
+/// `Accept: application/openmetrics-text` selects the OpenMetrics
+/// exposition: same families and values, plus trace exemplars on the
+/// latency buckets and the mandatory `# EOF` trailer. A caller-chosen
+/// trace id must ride the request end to end — gateway wire latency
+/// *and* the serving layer's queue latency — and come back on the page.
+#[test]
+fn openmetrics_scrapes_carry_trace_exemplars_and_eof() {
+    let server = Server::builder(Pipeline::builder(model()))
+        .with_workers(1)
+        .with_tracer(Tracer::new())
+        .build()
+        .expect("server assembly");
+    let gateway = Gateway::builder(server).bind().expect("bind");
+    let mut client = Client::connect(gateway.local_addr());
+    let reply = client.send(
+        "POST",
+        "/v1/classify",
+        &[("x-snappix-trace", "48879".into())],
+        &clip_bytes(&clips(1)[0]),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.text());
+
+    let reply = client.send(
+        "GET",
+        "/metrics",
+        &[(
+            "accept",
+            // Exactly what a Prometheus 2.x scraper sends.
+            "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5"
+                .into(),
+        )],
+        &[],
+    );
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("content-type"),
+        Some("application/openmetrics-text; version=1.0.0; charset=utf-8")
+    );
+    let page = reply.text();
+    assert!(page.ends_with("# EOF\n"), "OpenMetrics pages end in # EOF");
+    assert!(
+        page.lines().any(|l| {
+            l.starts_with("snappix_gateway_request_latency_seconds_bucket{endpoint=\"classify\"")
+                && l.contains("# {trace_id=\"48879\"}")
+        }),
+        "classify latency buckets must carry the request's trace id:\n{page}"
+    );
+    assert!(
+        page.lines().any(|l| {
+            l.starts_with("snappix_server_queue_latency_seconds_bucket")
+                && l.contains("# {trace_id=\"48879\"}")
+        }),
+        "the same trace id must reach the serving layer's queue buckets:\n{page}"
+    );
+    // Both formats render the same registry: family for family, the
+    // classic page and the OpenMetrics page agree. (OpenMetrics
+    // declares counters without the `_total` suffix, so normalize the
+    // classic names the same way before comparing.)
+    let mut openmetrics_families: Vec<String> = page
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(|rest| rest.split(' ').next().expect("family name").to_string())
+        .collect();
+    openmetrics_families.sort();
+    let classic = scrape(gateway.local_addr());
+    let mut classic_families: Vec<String> = classic
+        .families
+        .iter()
+        .map(
+            |(name, kind)| match (kind.as_str(), name.strip_suffix("_total")) {
+                ("counter", Some(base)) => base.to_string(),
+                _ => name.clone(),
+            },
+        )
+        .collect();
+    classic_families.sort();
+    assert_eq!(
+        classic_families, openmetrics_families,
+        "both formats expose the same families"
+    );
+    gateway.shutdown();
+}
+
+/// Telemetry must never change what clients receive: a gateway whose
+/// server was built with a disabled registry answers classify with the
+/// same bytes as the default (metrics-on) gateway, and its `/metrics`
+/// page is empty rather than wrong.
+#[test]
+fn disabling_metrics_changes_no_response_bytes() {
+    let build = |registry: Registry| {
+        Gateway::builder(
+            Server::builder(Pipeline::builder(model()))
+                .with_workers(1)
+                .with_metrics(registry)
+                .build()
+                .expect("server assembly"),
+        )
+        .bind()
+        .expect("bind")
+    };
+    let on = build(Registry::new());
+    let off = build(Registry::disabled());
+    let all = clips(4);
+
+    let mut on_client = Client::connect(on.local_addr());
+    let mut off_client = Client::connect(off.local_addr());
+    for clip in &all {
+        let a = classify(&mut on_client, clip);
+        let b = classify(&mut off_client, clip);
+        assert_eq!(a.status, 200, "{}", a.text());
+        assert_eq!(b.status, 200, "{}", b.text());
+        assert_eq!(
+            a.body, b.body,
+            "classify bodies must be bit-for-bit identical with metrics on or off"
+        );
+    }
+
+    // The enabled page counts the work; the disabled page is empty.
+    let page = scrape(on.local_addr());
+    assert_eq!(
+        page.value("snappix_server_requests_completed_total"),
+        all.len() as f64
+    );
+    let reply = Client::connect(off.local_addr()).send("GET", "/metrics", &[], &[]);
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.text(), "", "a disabled registry renders nothing");
+
+    on.shutdown();
+    let (_, stats) = off.shutdown();
+    assert_eq!(
+        stats.completed, 0,
+        "a disabled registry reads back all-zero stats"
+    );
 }
 
 /// Saturation becomes explicit backoff on the wire, never a hang: with

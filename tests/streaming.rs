@@ -163,6 +163,26 @@ fn streamed_windows_match_offline_inference_exactly() {
     assert_eq!(agg.service_ratio(), 1.0);
     assert!(report.windows_per_sec() > 0.0);
 
+    // The same ledger, live on the server's shared metrics registry:
+    // every session registered the snappix_stream_* families at
+    // construction and recorded as frames flowed, so a render of the
+    // registry agrees with the aggregated report exactly.
+    let page = server.metrics().render();
+    for (needle, value) in [
+        ("snappix_stream_frames_total", agg.frames),
+        ("snappix_stream_windows_total", agg.windows),
+        ("snappix_stream_inferred_total", agg.inferred),
+        ("snappix_stream_shed_total", agg.shed),
+        ("snappix_stream_expired_total", agg.expired),
+        ("snappix_stream_events_total", agg.events),
+        ("snappix_stream_window_latency_seconds_count", agg.inferred),
+    ] {
+        assert!(
+            page.contains(&format!("{needle} {value}\n")),
+            "{needle} should read {value} on the rendered page:\n{page}"
+        );
+    }
+
     // The server really did serve all of it.
     let stats = server.shutdown();
     assert_eq!(stats.completed, expected_windows);
